@@ -1,0 +1,84 @@
+//! Criterion bench for the real (host) execution of the benchmark applications, with
+//! and without data reordering — the wall-clock counterpart of Figure 7.  Each entry
+//! runs one parallel iteration of an application on the host's cores; the original
+//! versus reordered comparison shows the cache effect of the reordering on real
+//! hardware (the simulated Origin counters are produced by `table2_origin`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use molecular::{Moldyn, MoldynParams, WaterSpatial, WaterSpatialParams};
+use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
+use reorder::Method;
+use unstructured::{Unstructured, UnstructuredParams};
+
+fn bench_apps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("application_iteration");
+    group.sample_size(10);
+
+    for (label, reorder) in [("original", None), ("hilbert", Some(Method::Hilbert))] {
+        let mut sim = BarnesHut::two_plummer(8_192, 3, BarnesHutParams::default());
+        if let Some(m) = reorder {
+            sim.reorder(m);
+        }
+        group.bench_with_input(BenchmarkId::new("barnes_hut", label), &sim, |b, sim| {
+            b.iter_batched(
+                || sim.clone(),
+                |mut s| s.step_parallel(16),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut fmm = Fmm::two_plummer(4_096, 3, FmmParams::default());
+        if let Some(m) = reorder {
+            fmm.reorder(m);
+        }
+        group.bench_with_input(BenchmarkId::new("fmm", label), &fmm, |b, fmm| {
+            b.iter_batched(
+                || fmm.clone(),
+                |mut s| s.step_parallel(16),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut water = WaterSpatial::lattice(4_096, 3, WaterSpatialParams::default());
+        if let Some(m) = reorder {
+            water.reorder(m);
+        }
+        group.bench_with_input(BenchmarkId::new("water_spatial", label), &water, |b, water| {
+            b.iter_batched(
+                || water.clone(),
+                |mut s| s.step_parallel(16),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+
+    for (label, reorder) in [("original", None), ("column", Some(Method::Column))] {
+        let mut moldyn = Moldyn::lattice(8_000, 3, MoldynParams::default());
+        if let Some(m) = reorder {
+            moldyn.reorder(m);
+        }
+        group.bench_with_input(BenchmarkId::new("moldyn", label), &moldyn, |b, moldyn| {
+            b.iter_batched(
+                || moldyn.clone(),
+                |mut s| s.step_parallel(16),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+
+        let mut mesh = Unstructured::generated(8_000, 3, UnstructuredParams::default());
+        if let Some(m) = reorder {
+            mesh.reorder(m);
+        }
+        group.bench_with_input(BenchmarkId::new("unstructured", label), &mesh, |b, mesh| {
+            b.iter_batched(
+                || mesh.clone(),
+                |mut s| s.sweep_parallel(16),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench for the software DSM protocol simulators behind Table 3 and
+//! Figures 8/9: running the TreadMarks-like and HLRC-like protocols over a Moldyn trace
+//! with the original versus column-reordered molecule array.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dsm::{DsmConfig, HlrcSim, TreadMarksSim};
+use reorder::Method;
+use repro_bench::{build_run_sized, AppKind, Ordering};
+
+fn bench_dsm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsm_protocols");
+    group.sample_size(10);
+    let config = DsmConfig::cluster(16);
+    for (label, ordering) in [
+        ("original", Ordering::Original),
+        ("column", Ordering::Reordered(Method::Column)),
+    ] {
+        let run = build_run_sized(AppKind::Moldyn, ordering, 4_000, 2, 16, 5);
+        group.bench_with_input(BenchmarkId::new("treadmarks_moldyn", label), &run, |b, run| {
+            b.iter(|| {
+                TreadMarksSim::new(config)
+                    .run_with_layout(&run.trace, &run.layout)
+                    .stats
+                    .messages
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("hlrc_moldyn", label), &run, |b, run| {
+            b.iter(|| {
+                HlrcSim::new(config).run_with_layout(&run.trace, &run.layout).stats.messages
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsm);
+criterion_main!(benches);

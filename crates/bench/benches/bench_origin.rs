@@ -1,0 +1,33 @@
+//! Criterion bench for the hardware shared-memory model behind Table 2 and Figure 7:
+//! replaying a Barnes-Hut trace through the Origin 2000 cache/TLB simulator with the
+//! original versus the Hilbert-reordered particle array.  The reported throughput
+//! difference is not the point (simulation time is roughly layout-independent); the
+//! bench exists to regenerate the Table 2 counters under `cargo bench` and to keep the
+//! simulator's performance visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::OriginPreset;
+use repro_bench::{build_run_sized, AppKind, Ordering};
+use reorder::Method;
+
+fn bench_origin(c: &mut Criterion) {
+    let mut group = c.benchmark_group("origin2000_simulation");
+    group.sample_size(10);
+    for (label, ordering) in [
+        ("original", Ordering::Original),
+        ("hilbert", Ordering::Reordered(Method::Hilbert)),
+    ] {
+        let run = build_run_sized(AppKind::BarnesHut, ordering, 4_096, 1, 16, 5);
+        group.bench_with_input(BenchmarkId::new("barnes_hut_16p", label), &run, |b, run| {
+            b.iter(|| {
+                let mut machine = OriginPreset::origin2000(16).build_machine();
+                let result = machine.run_trace_with_layout(&run.trace, &run.layout);
+                (result.l2_misses(), result.tlb_misses())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_origin);
+criterion_main!(benches);

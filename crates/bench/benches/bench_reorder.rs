@@ -1,0 +1,33 @@
+//! Criterion bench for the reordering routines themselves — the "Cost of Reorder"
+//! columns of Tables 2 and 3.  The paper reports 0.03–0.97 s for 32 K–65 K objects on a
+//! 300 MHz machine; the point of this bench is that the reordering cost is negligible
+//! next to one iteration of any benchmark, and that Hilbert costs only a small constant
+//! factor more than column ordering.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reorder::{reorder_by_method, Method};
+use workloads::two_plummer;
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder_routine");
+    group.sample_size(10);
+    for &n in &[8_192usize, 32_768] {
+        let (positions, _) = two_plummer(n, 3, 1.0, 6.0, 9);
+        for method in [Method::Hilbert, Method::Morton, Method::Column, Method::Row] {
+            group.bench_with_input(
+                BenchmarkId::new(method.name(), n),
+                &positions,
+                |b, positions| {
+                    b.iter(|| {
+                        let mut objs: Vec<[f64; 3]> = positions.clone();
+                        reorder_by_method(method, &mut objs, 3, |o, d| o[d])
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the page-sharing analysis behind Figures 1, 2, 4 and 5:
+//! computing the per-page sharer histogram of a Barnes-Hut trace, original versus
+//! Hilbert-reordered.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use memsim::page_sharing;
+use reorder::Method;
+use repro_bench::{build_run_sized, AppKind, Ordering};
+
+fn bench_sharing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("page_sharing_analysis");
+    group.sample_size(10);
+    for (label, ordering) in [
+        ("original", Ordering::Original),
+        ("hilbert", Ordering::Reordered(Method::Hilbert)),
+    ] {
+        let run = build_run_sized(AppKind::BarnesHut, ordering, 8_192, 1, 16, 7);
+        group.bench_with_input(BenchmarkId::new("barnes_hut_8k_pages", label), &run, |b, run| {
+            b.iter(|| page_sharing(&run.trace, &run.layout, 8 * 1024).mean_writers())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharing);
+criterion_main!(benches);

@@ -1,0 +1,346 @@
+//! # `repro-bench` — experiment harness for every table and figure of the paper
+//!
+//! Each table and figure of the evaluation section has a corresponding binary in
+//! `src/bin/` (see DESIGN.md §5 for the index); the shared plumbing lives here:
+//!
+//! * [`AppKind`] / [`Ordering`] — the five benchmark applications and the data
+//!   orderings compared (original random order, Hilbert, Morton, column, row);
+//! * [`build_run`] — build an application at a given scale, apply an ordering, record
+//!   an access trace over a given number of virtual processors, and report the cost of
+//!   the reordering call itself (the "Cost of Reorder" columns of Tables 2 and 3);
+//! * [`Scale`] — problem sizes: `Paper` uses the sizes from Table 1 of the paper,
+//!   `Small` uses reduced sizes so every experiment binary finishes in seconds.  Select
+//!   the paper sizes by setting the environment variable `REPRO_FULL=1`.
+//!
+//! All binaries print plain-text tables to stdout so their output can be diffed against
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+
+use std::time::Instant;
+
+use molecular::{Moldyn, MoldynParams, WaterSpatial, WaterSpatialParams};
+use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
+use reorder::Method;
+use smtrace::{ObjectLayout, ProgramTrace};
+use unstructured::{Unstructured, UnstructuredParams};
+
+/// The five applications of the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AppKind {
+    /// SPLASH-2 Barnes-Hut (Category 1).
+    BarnesHut,
+    /// SPLASH-2 adaptive FMM (Category 1).
+    Fmm,
+    /// SPLASH-2 Water-Spatial (Category 1).
+    WaterSpatial,
+    /// Chaos Moldyn (Category 2).
+    Moldyn,
+    /// Chaos Unstructured (Category 2).
+    Unstructured,
+}
+
+impl AppKind {
+    /// All applications, in the order of the paper's figures.
+    pub const ALL: [AppKind; 5] = [
+        AppKind::BarnesHut,
+        AppKind::Fmm,
+        AppKind::WaterSpatial,
+        AppKind::Moldyn,
+        AppKind::Unstructured,
+    ];
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            AppKind::BarnesHut => "Barnes-Hut",
+            AppKind::Fmm => "FMM",
+            AppKind::WaterSpatial => "Water-Spatial",
+            AppKind::Moldyn => "Moldyn",
+            AppKind::Unstructured => "Unstructured",
+        }
+    }
+
+    /// Whether the application is Category 2 (block partitioned with interaction
+    /// lists), for which the paper also evaluates column ordering.
+    pub fn is_category2(self) -> bool {
+        matches!(self, AppKind::Moldyn | AppKind::Unstructured)
+    }
+
+    /// The reordering the paper recommends (and uses in Figures 8/9) for this
+    /// application on page-based software DSM.
+    pub fn dsm_reordering(self) -> Method {
+        if self.is_category2() {
+            Method::Column
+        } else {
+            Method::Hilbert
+        }
+    }
+}
+
+/// The data ordering of the object array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Ordering {
+    /// The benchmark's original (random) initialization order.
+    Original,
+    /// Reordered with the given method before the parallel phase.
+    Reordered(Method),
+}
+
+impl Ordering {
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            Ordering::Original => "original".to_string(),
+            Ordering::Reordered(m) => m.name().to_string(),
+        }
+    }
+}
+
+/// Problem sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced sizes so every binary runs in seconds (default).
+    Small,
+    /// The paper's Table 1 sizes (65 536 bodies, 32 768 molecules, …).
+    Paper,
+}
+
+impl Scale {
+    /// Read the scale from the `REPRO_FULL` environment variable (`1` → paper sizes).
+    pub fn from_env() -> Scale {
+        if std::env::var("REPRO_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::Paper
+        } else {
+            Scale::Small
+        }
+    }
+
+    /// Object count for an application at this scale.
+    pub fn size_of(self, app: AppKind) -> usize {
+        match (self, app) {
+            (Scale::Paper, AppKind::BarnesHut) => 65_536,
+            (Scale::Paper, AppKind::Fmm) => 65_536,
+            (Scale::Paper, AppKind::WaterSpatial) => 32_768,
+            (Scale::Paper, AppKind::Moldyn) => 32_000,
+            (Scale::Paper, AppKind::Unstructured) => 10_648, // 22^3, the mesh.10k stand-in
+            (Scale::Small, AppKind::BarnesHut) => 16_384,
+            (Scale::Small, AppKind::Fmm) => 4_096,
+            (Scale::Small, AppKind::WaterSpatial) => 4_096,
+            (Scale::Small, AppKind::Moldyn) => 6_000,
+            (Scale::Small, AppKind::Unstructured) => 4_096,
+        }
+    }
+
+    /// Number of traced iterations per application at this scale (the paper runs more
+    /// iterations; the per-iteration behaviour is what all the counters are built from).
+    pub fn iterations_of(self, app: AppKind) -> usize {
+        match (self, app) {
+            (_, AppKind::BarnesHut) => 2,
+            (_, AppKind::Fmm) => 2,
+            (_, AppKind::WaterSpatial) => 2,
+            (_, AppKind::Moldyn) => 3,
+            (_, AppKind::Unstructured) => 3,
+        }
+    }
+}
+
+/// The result of building and tracing one application under one ordering.
+pub struct AppRun {
+    /// Which application.
+    pub app: AppKind,
+    /// Which ordering was applied.
+    pub ordering: Ordering,
+    /// Number of objects in the object array.
+    pub num_objects: usize,
+    /// Object-array layout (paper object sizes).
+    pub layout: ObjectLayout,
+    /// The recorded access trace over `num_procs` virtual processors.
+    pub trace: ProgramTrace,
+    /// Wall-clock seconds spent in the reordering routine (0 for the original order).
+    pub reorder_seconds: f64,
+}
+
+/// Build an application at the given scale, apply `ordering`, and record a trace over
+/// `num_procs` virtual processors.
+pub fn build_run(app: AppKind, ordering: Ordering, scale: Scale, num_procs: usize, seed: u64) -> AppRun {
+    let n = scale.size_of(app);
+    let iters = scale.iterations_of(app);
+    build_run_sized(app, ordering, n, iters, num_procs, seed)
+}
+
+/// Like [`build_run`] but with explicit object count and iteration count (used by the
+/// figure binaries that need specific sizes, e.g. 168 or 32 768 bodies).
+pub fn build_run_sized(
+    app: AppKind,
+    ordering: Ordering,
+    n: usize,
+    iters: usize,
+    num_procs: usize,
+    seed: u64,
+) -> AppRun {
+    match app {
+        AppKind::BarnesHut => {
+            let mut sim = BarnesHut::two_plummer(n, seed, BarnesHutParams::default());
+            let reorder_seconds = apply_ordering(ordering, |m| {
+                sim.reorder(m);
+            });
+            let layout = sim.layout();
+            let trace = sim.trace_iterations(iters, num_procs);
+            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+        }
+        AppKind::Fmm => {
+            let mut sim = Fmm::two_plummer(n, seed, FmmParams::default());
+            let reorder_seconds = apply_ordering(ordering, |m| {
+                sim.reorder(m);
+            });
+            let layout = sim.layout();
+            let trace = sim.trace_iterations(iters, num_procs);
+            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+        }
+        AppKind::WaterSpatial => {
+            let mut sim = WaterSpatial::lattice(n, seed, WaterSpatialParams::default());
+            let reorder_seconds = apply_ordering(ordering, |m| {
+                sim.reorder(m);
+            });
+            let layout = sim.layout();
+            let trace = sim.trace_steps(iters, num_procs);
+            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+        }
+        AppKind::Moldyn => {
+            let mut sim = Moldyn::lattice(n, seed, MoldynParams::default());
+            let reorder_seconds = apply_ordering(ordering, |m| {
+                sim.reorder(m);
+            });
+            let layout = sim.layout();
+            let trace = sim.trace_steps(iters, num_procs);
+            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+        }
+        AppKind::Unstructured => {
+            let mut sim = Unstructured::generated(n, seed, UnstructuredParams::default());
+            let reorder_seconds = apply_ordering(ordering, |m| {
+                sim.reorder(m);
+            });
+            let num_objects = sim.num_nodes();
+            let layout = sim.layout();
+            let trace = sim.trace_sweeps(iters, num_procs);
+            AppRun { app, ordering, num_objects, layout, trace, reorder_seconds }
+        }
+    }
+}
+
+fn apply_ordering(ordering: Ordering, mut reorder: impl FnMut(Method)) -> f64 {
+    match ordering {
+        Ordering::Original => 0.0,
+        Ordering::Reordered(m) => {
+            let t0 = Instant::now();
+            reorder(m);
+            t0.elapsed().as_secs_f64()
+        }
+    }
+}
+
+/// Format a floating-point value with engineering-friendly width for the text tables.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Print a simple aligned text table: a header row followed by data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:width$}", c, width = widths.get(i).copied().unwrap_or(8) + 2))
+            .collect::<String>()
+    };
+    println!("{}", line(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_sizes_match_table1_at_paper_scale() {
+        assert_eq!(Scale::Paper.size_of(AppKind::BarnesHut), 65_536);
+        assert_eq!(Scale::Paper.size_of(AppKind::Fmm), 65_536);
+        assert_eq!(Scale::Paper.size_of(AppKind::WaterSpatial), 32_768);
+        assert_eq!(Scale::Paper.size_of(AppKind::Moldyn), 32_000);
+        assert!(Scale::Paper.size_of(AppKind::Unstructured) >= 10_000);
+        for app in AppKind::ALL {
+            assert!(Scale::Small.size_of(app) < Scale::Paper.size_of(app));
+        }
+    }
+
+    #[test]
+    fn category2_gets_column_for_dsm_and_category1_gets_hilbert() {
+        assert_eq!(AppKind::Moldyn.dsm_reordering(), Method::Column);
+        assert_eq!(AppKind::Unstructured.dsm_reordering(), Method::Column);
+        assert_eq!(AppKind::BarnesHut.dsm_reordering(), Method::Hilbert);
+        assert_eq!(AppKind::WaterSpatial.dsm_reordering(), Method::Hilbert);
+        assert!(!AppKind::Fmm.is_category2());
+    }
+
+    #[test]
+    fn build_run_produces_a_consistent_trace_for_each_app() {
+        for app in AppKind::ALL {
+            let run = build_run_sized(app, Ordering::Original, 512, 1, 4, 1);
+            assert_eq!(run.trace.num_procs, 4);
+            assert!(run.trace.total_accesses() > 0, "{app:?} recorded no accesses");
+            assert_eq!(run.layout.num_objects, run.num_objects);
+        }
+    }
+
+    #[test]
+    fn reordered_runs_report_a_nonzero_reorder_cost() {
+        let run = build_run_sized(
+            AppKind::Moldyn,
+            Ordering::Reordered(Method::Column),
+            1000,
+            1,
+            4,
+            2,
+        );
+        assert!(run.reorder_seconds > 0.0);
+    }
+
+    #[test]
+    fn ordering_names_are_stable() {
+        assert_eq!(Ordering::Original.name(), "original");
+        assert_eq!(Ordering::Reordered(Method::Hilbert).name(), "hilbert");
+    }
+
+    #[test]
+    fn table_formatting_does_not_panic() {
+        print_table(
+            "test",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "44444".into()]],
+        );
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(123.4), "123");
+        assert_eq!(fmt_f(1.5), "1.50");
+        assert_eq!(fmt_f(0.1234), "0.1234");
+    }
+}

@@ -1,0 +1,246 @@
+//! Connectivity-based orderings (breadth-first and reverse Cuthill–McKee).
+//!
+//! These orderings are *not* part of the SC 2000 paper's library, but they are the
+//! natural "does not need geometry" competitor discussed in its related-work section
+//! (Ding & Kennedy's indirection-array-driven reordering works from connectivity
+//! alone).  We provide them as an extra baseline for the Category-2 benchmarks, whose
+//! interaction lists and edge arrays already define a graph: the ablation benches
+//! compare Hilbert/column against BFS/RCM orderings derived purely from that graph.
+
+use std::collections::VecDeque;
+
+use crate::permute::Permutation;
+
+/// A compressed-sparse-row adjacency structure over `n` objects.
+#[derive(Debug, Clone)]
+pub struct Adjacency {
+    offsets: Vec<usize>,
+    neighbors: Vec<usize>,
+}
+
+impl Adjacency {
+    /// Build an adjacency structure from an edge list over `n` objects.  Edges are
+    /// treated as undirected; duplicates are kept (they only affect traversal order
+    /// marginally, not correctness).
+    ///
+    /// # Panics
+    /// Panics if an edge endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut degree = vec![0usize; n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} objects");
+            degree[a] += 1;
+            degree[b] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbors = vec![0usize; offsets[n]];
+        for &(a, b) in edges {
+            neighbors[cursor[a]] = b;
+            cursor[a] += 1;
+            neighbors[cursor[b]] = a;
+            cursor[b] += 1;
+        }
+        Adjacency { offsets, neighbors }
+    }
+
+    /// Number of objects (graph vertices).
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether the graph has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The neighbours of vertex `v`.
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+}
+
+/// Compute a breadth-first ordering of the graph: vertices are ranked in the order a
+/// BFS from the lowest-degree vertex of each connected component visits them.
+///
+/// Returns a [`Permutation`] whose rank array maps old indices to the BFS order.
+pub fn bfs_ordering(adj: &Adjacency) -> Permutation {
+    let n = adj.len();
+    let order = traversal_order(adj, false);
+    let mut rank = vec![usize::MAX; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v] = r;
+    }
+    Permutation::from_rank(rank)
+}
+
+/// Compute the reverse Cuthill–McKee ordering: BFS from a low-degree vertex with
+/// neighbours visited in order of increasing degree, then the whole order reversed.
+/// RCM is the classic bandwidth-reducing ordering for sparse matrices and serves as a
+/// geometry-free alternative to column ordering for mesh-like Category-2 applications.
+pub fn rcm_ordering(adj: &Adjacency) -> Permutation {
+    let n = adj.len();
+    let mut order = traversal_order(adj, true);
+    order.reverse();
+    let mut rank = vec![usize::MAX; n];
+    for (r, &v) in order.iter().enumerate() {
+        rank[v] = r;
+    }
+    Permutation::from_rank(rank)
+}
+
+/// BFS over every connected component.  When `by_degree` is set, each vertex's
+/// neighbours are expanded in order of increasing degree (the Cuthill–McKee rule);
+/// otherwise they are expanded in index order.
+fn traversal_order(adj: &Adjacency, by_degree: bool) -> Vec<usize> {
+    let n = adj.len();
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Seed order: vertices sorted by (degree, index) so each component starts from a
+    // peripheral, low-degree vertex — the standard RCM heuristic.
+    let mut seeds: Vec<usize> = (0..n).collect();
+    seeds.sort_by_key(|&v| (adj.degree(v), v));
+    let mut queue = VecDeque::new();
+    let mut scratch: Vec<usize> = Vec::new();
+    for seed in seeds {
+        if visited[seed] {
+            continue;
+        }
+        visited[seed] = true;
+        queue.push_back(seed);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            scratch.clear();
+            scratch.extend(adj.neighbors(v).iter().copied().filter(|&u| !visited[u]));
+            if by_degree {
+                scratch.sort_by_key(|&u| (adj.degree(u), u));
+            } else {
+                scratch.sort_unstable();
+            }
+            scratch.dedup();
+            for &u in &scratch {
+                if !visited[u] {
+                    visited[u] = true;
+                    queue.push_back(u);
+                }
+            }
+        }
+    }
+    order
+}
+
+/// Bandwidth of the graph under a given ordering: the maximum |rank(a) - rank(b)| over
+/// all edges.  Lower bandwidth means endpoints of edges are closer in memory, which is
+/// the quantity RCM minimizes and a useful scalar summary of read locality for
+/// Category-2 applications.
+pub fn bandwidth(adj: &Adjacency, perm: &Permutation) -> usize {
+    let mut bw = 0usize;
+    for v in 0..adj.len() {
+        let rv = perm.rank_of(v);
+        for &u in adj.neighbors(v) {
+            let ru = perm.rank_of(u);
+            bw = bw.max(rv.abs_diff(ru));
+        }
+    }
+    bw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Adjacency {
+        let edges: Vec<(usize, usize)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Adjacency::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let adj = Adjacency::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(adj.len(), 4);
+        for v in 0..4 {
+            assert_eq!(adj.degree(v), 2);
+            for &u in adj.neighbors(v) {
+                assert!(adj.neighbors(u).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_ordering_is_a_permutation() {
+        let adj = Adjacency::from_edges(6, &[(0, 3), (3, 5), (5, 1), (1, 4), (4, 2)]);
+        let p = bfs_ordering(&adj);
+        let mut ranks: Vec<usize> = (0..6).map(|v| p.rank_of(v)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rcm_on_a_path_gives_minimal_bandwidth() {
+        // A scrambled path: vertices 0..8 connected in a random-looking order.
+        let chain = [4usize, 0, 6, 2, 8, 1, 5, 3, 7];
+        let edges: Vec<(usize, usize)> = chain.windows(2).map(|w| (w[0], w[1])).collect();
+        let adj = Adjacency::from_edges(9, &edges);
+        let rcm = rcm_ordering(&adj);
+        assert_eq!(bandwidth(&adj, &rcm), 1, "RCM must recover the path ordering");
+        let identity = Permutation::identity(9);
+        assert!(bandwidth(&adj, &identity) > 1);
+    }
+
+    #[test]
+    fn rcm_reduces_bandwidth_on_a_grid() {
+        // 8x8 grid graph with vertices numbered in a scrambled order.
+        let side = 8usize;
+        let scramble = |v: usize| (v * 37) % (side * side);
+        let mut edges = Vec::new();
+        for r in 0..side {
+            for c in 0..side {
+                let v = r * side + c;
+                if c + 1 < side {
+                    edges.push((scramble(v), scramble(v + 1)));
+                }
+                if r + 1 < side {
+                    edges.push((scramble(v), scramble(v + side)));
+                }
+            }
+        }
+        let adj = Adjacency::from_edges(side * side, &edges);
+        let rcm = rcm_ordering(&adj);
+        let identity = Permutation::identity(side * side);
+        assert!(
+            bandwidth(&adj, &rcm) < bandwidth(&adj, &identity),
+            "RCM should reduce bandwidth on a scrambled grid"
+        );
+        assert!(bandwidth(&adj, &rcm) <= 2 * side);
+    }
+
+    #[test]
+    fn disconnected_components_are_all_visited() {
+        let adj = Adjacency::from_edges(6, &[(0, 1), (2, 3), (4, 5)]);
+        let p = bfs_ordering(&adj);
+        let mut ranks: Vec<usize> = (0..6).map(|v| p.rank_of(v)).collect();
+        ranks.sort_unstable();
+        assert_eq!(ranks, (0..6).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn bfs_on_path_keeps_neighbors_close() {
+        let adj = path_graph(32);
+        let p = bfs_ordering(&adj);
+        assert_eq!(bandwidth(&adj, &p), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        Adjacency::from_edges(3, &[(0, 3)]);
+    }
+}

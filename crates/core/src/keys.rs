@@ -1,0 +1,180 @@
+//! Sort-key generation: the first phase of every reordering method.
+//!
+//! Section 3 of the paper: "Each method consists of two phases: first, it constructs a
+//! sorting key for every object … and sorts the keys to generate the rank; second, the
+//! actual objects are reordered according to the rank."  This module implements the
+//! first phase for all four orderings; [`crate::permute`] implements the second.
+
+use crate::hilbert::hilbert_encode;
+use crate::morton::morton_encode;
+use crate::quantize::Quantizer;
+use crate::rowcol::{column_key, row_key};
+use crate::MAX_DIMS;
+
+/// The data-reordering methods provided by the library.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Hilbert space-filling curve: locality-preserving, visits only face-adjacent
+    /// cells.  The paper's recommendation for Category-1 applications and for hardware
+    /// shared memory.
+    Hilbert,
+    /// Morton (Z-order) curve: cheaper to compute but with occasional long jumps.
+    Morton,
+    /// Column ordering: x-coordinate most significant (slabs perpendicular to x).  The
+    /// paper's recommendation for Category-2 applications on page-based software DSM.
+    Column,
+    /// Row ordering: last coordinate most significant (slabs perpendicular to z).
+    Row,
+}
+
+impl Method {
+    /// All methods, in the order they appear in the paper's Figure 3.
+    pub const ALL: [Method; 4] = [Method::Morton, Method::Hilbert, Method::Column, Method::Row];
+
+    /// Short lowercase name used in reports and benchmark output
+    /// (`"hilbert"`, `"morton"`, `"column"`, `"row"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Hilbert => "hilbert",
+            Method::Morton => "morton",
+            Method::Column => "column",
+            Method::Row => "row",
+        }
+    }
+
+    /// Whether this is a space-filling-curve ordering (Hilbert or Morton) as opposed to
+    /// a slab ordering (row or column).
+    pub fn is_space_filling(self) -> bool {
+        matches!(self, Method::Hilbert | Method::Morton)
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A sort key for one object: the object's original index plus the integer key its
+/// quantized coordinates map to under the chosen ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortKey {
+    /// Original index of the object in the object array.
+    pub object: usize,
+    /// Ordering key; objects are ranked by ascending key, ties broken by object index
+    /// so the ranking is always a well-defined permutation.
+    pub key: u128,
+}
+
+/// Compute the key of a single quantized grid point under `method`.
+pub fn key_for_cells(method: Method, cells: &[u32], bits: u32) -> u128 {
+    match method {
+        Method::Hilbert => hilbert_encode(cells, bits),
+        Method::Morton => morton_encode(cells, bits),
+        Method::Column => column_key(cells, bits),
+        Method::Row => row_key(cells, bits),
+    }
+}
+
+/// Generate a sort key for each of `n` objects whose coordinates are produced by
+/// `coord(i, d)` for `d < dims`, quantized by `quantizer`.
+///
+/// The returned vector has exactly `n` entries, in object order (entry `i` describes
+/// object `i`); it is *not* yet sorted.
+///
+/// # Panics
+/// Panics if `dims` is 0 or exceeds [`MAX_DIMS`].
+pub fn sort_keys<F>(
+    method: Method,
+    n: usize,
+    dims: usize,
+    quantizer: &Quantizer,
+    mut coord: F,
+) -> Vec<SortKey>
+where
+    F: FnMut(usize, usize) -> f64,
+{
+    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
+    let bits = quantizer.bits();
+    let mut cells = [0u32; MAX_DIMS];
+    (0..n)
+        .map(|i| {
+            for (d, slot) in cells[..dims].iter_mut().enumerate() {
+                *slot = quantizer.cell(d, coord(i, d));
+            }
+            SortKey { object: i, key: key_for_cells(method, &cells[..dims], bits) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantize::BoundingBox;
+
+    fn unit_quantizer(dims: usize, bits: u32) -> Quantizer {
+        Quantizer::new(BoundingBox { min: vec![0.0; dims], max: vec![1.0; dims] }, bits)
+    }
+
+    #[test]
+    fn keys_are_generated_in_object_order() {
+        let pts = [[0.1, 0.2], [0.9, 0.8], [0.5, 0.5]];
+        let q = unit_quantizer(2, 8);
+        let keys = sort_keys(Method::Hilbert, 3, 2, &q, |i, d| pts[i][d]);
+        assert_eq!(keys.len(), 3);
+        for (i, k) in keys.iter().enumerate() {
+            assert_eq!(k.object, i);
+        }
+    }
+
+    #[test]
+    fn column_keys_order_by_x() {
+        let pts = [[0.9, 0.1, 0.1], [0.1, 0.9, 0.9], [0.5, 0.5, 0.5]];
+        let q = unit_quantizer(3, 8);
+        let keys = sort_keys(Method::Column, 3, 3, &q, |i, d| pts[i][d]);
+        assert!(keys[1].key < keys[2].key);
+        assert!(keys[2].key < keys[0].key);
+    }
+
+    #[test]
+    fn hilbert_keys_of_identical_points_are_equal() {
+        let pts = [[0.25, 0.75], [0.25, 0.75]];
+        let q = unit_quantizer(2, 12);
+        let keys = sort_keys(Method::Hilbert, 2, 2, &q, |i, d| pts[i][d]);
+        assert_eq!(keys[0].key, keys[1].key);
+    }
+
+    #[test]
+    fn every_method_produces_finite_distinct_keys_for_a_grid() {
+        // A coarse grid of distinct points must receive distinct keys under every
+        // method at sufficient resolution.
+        let mut pts = Vec::new();
+        for x in 0..8 {
+            for y in 0..8 {
+                pts.push([x as f64 / 8.0, y as f64 / 8.0]);
+            }
+        }
+        let q = unit_quantizer(2, 10);
+        for method in Method::ALL {
+            let mut keys: Vec<u128> = sort_keys(method, pts.len(), 2, &q, |i, d| pts[i][d])
+                .into_iter()
+                .map(|k| k.key)
+                .collect();
+            keys.sort_unstable();
+            keys.dedup();
+            assert_eq!(keys.len(), pts.len(), "method {method} produced duplicate keys");
+        }
+    }
+
+    #[test]
+    fn method_names_are_stable() {
+        assert_eq!(Method::Hilbert.name(), "hilbert");
+        assert_eq!(Method::Morton.to_string(), "morton");
+        assert_eq!(Method::Column.name(), "column");
+        assert_eq!(Method::Row.name(), "row");
+        assert!(Method::Hilbert.is_space_filling());
+        assert!(Method::Morton.is_space_filling());
+        assert!(!Method::Column.is_space_filling());
+        assert!(!Method::Row.is_space_filling());
+    }
+}

@@ -1,0 +1,300 @@
+//! Ranking and permutation application: the second phase of every reordering method.
+//!
+//! Given one sort key per object, the rank of an object is its position in the sorted
+//! key order.  The object array is then permuted so that object with rank `r` ends up
+//! at position `r`.  Because many irregular applications keep *index-based* auxiliary
+//! structures — interaction lists in Moldyn, edge endpoint arrays in Unstructured, leaf
+//! pointers in Barnes-Hut — the permutation also has to be applied to those indices;
+//! [`Permutation::remap_index`] and [`Permutation::remap_indices`] do exactly that.
+
+use crate::keys::SortKey;
+
+/// A permutation of `n` objects, stored in both directions.
+///
+/// * `rank[old]` is the new position of the object that used to live at `old`.
+/// * `perm[new]` is the old position of the object that now lives at `new`.
+///
+/// The two arrays are inverses of each other; both are kept because applications need
+/// both directions (gathering objects uses `perm`, remapping stored indices uses
+/// `rank`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    rank: Vec<usize>,
+    perm: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        let id: Vec<usize> = (0..n).collect();
+        Permutation { rank: id.clone(), perm: id }
+    }
+
+    /// Build a permutation by ranking sort keys: objects are ordered by ascending key,
+    /// ties broken by original object index (so equal keys preserve their relative
+    /// order, making the ranking stable and deterministic).
+    ///
+    /// # Panics
+    /// Panics if the keys do not describe objects `0..n` exactly once.
+    pub fn from_sort_keys(keys: &[SortKey]) -> Self {
+        let n = keys.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| (keys[i].key, keys[i].object));
+        // order[r] = position in `keys` of the object with rank r.
+        let mut rank = vec![usize::MAX; n];
+        let mut perm = vec![usize::MAX; n];
+        for (r, &ki) in order.iter().enumerate() {
+            let old = keys[ki].object;
+            assert!(old < n, "sort key refers to object {old} outside 0..{n}");
+            assert!(rank[old] == usize::MAX, "object {old} appears in more than one sort key");
+            rank[old] = r;
+            perm[r] = old;
+        }
+        Permutation { rank, perm }
+    }
+
+    /// Build a permutation directly from a `rank` array (`rank[old] = new`).
+    ///
+    /// # Panics
+    /// Panics if `rank` is not a permutation of `0..rank.len()`.
+    pub fn from_rank(rank: Vec<usize>) -> Self {
+        let n = rank.len();
+        let mut perm = vec![usize::MAX; n];
+        for (old, &new) in rank.iter().enumerate() {
+            assert!(new < n, "rank {new} out of range for {n} objects");
+            assert!(perm[new] == usize::MAX, "two objects map to rank {new}");
+            perm[new] = old;
+        }
+        Permutation { rank, perm }
+    }
+
+    /// Number of objects the permutation acts on.
+    pub fn len(&self) -> usize {
+        self.rank.len()
+    }
+
+    /// Whether the permutation acts on zero objects.
+    pub fn is_empty(&self) -> bool {
+        self.rank.is_empty()
+    }
+
+    /// `rank[old]`: the new position of the object that used to be at `old`.
+    pub fn rank_of(&self, old: usize) -> usize {
+        self.rank[old]
+    }
+
+    /// `perm[new]`: the old position of the object that is now at `new`.
+    pub fn source_of(&self, new: usize) -> usize {
+        self.perm[new]
+    }
+
+    /// The full `old -> new` mapping.
+    pub fn ranks(&self) -> &[usize] {
+        &self.rank
+    }
+
+    /// The full `new -> old` mapping.
+    pub fn sources(&self) -> &[usize] {
+        &self.perm
+    }
+
+    /// Whether this is the identity permutation.
+    pub fn is_identity(&self) -> bool {
+        self.rank.iter().enumerate().all(|(i, &r)| i == r)
+    }
+
+    /// The inverse permutation (swaps the roles of `rank` and `perm`).
+    pub fn inverse(&self) -> Permutation {
+        Permutation { rank: self.perm.clone(), perm: self.rank.clone() }
+    }
+
+    /// Remap a single stored object index from the old ordering to the new ordering.
+    ///
+    /// Use this on every index-valued field of auxiliary data structures after the
+    /// object array has been permuted (e.g. interaction-list entries, edge endpoints).
+    #[inline]
+    pub fn remap_index(&self, old: usize) -> usize {
+        self.rank[old]
+    }
+
+    /// Remap a slice of stored object indices in place.
+    pub fn remap_indices(&self, indices: &mut [usize]) {
+        for idx in indices.iter_mut() {
+            *idx = self.rank[*idx];
+        }
+    }
+
+    /// Remap `u32`-typed object indices in place (many mesh formats store 32-bit ids).
+    pub fn remap_indices_u32(&self, indices: &mut [u32]) {
+        for idx in indices.iter_mut() {
+            *idx = self.rank[*idx as usize] as u32;
+        }
+    }
+
+    /// Gather a new object array: element `new` of the result is the old element
+    /// `perm[new]`.  This is the out-of-place application used when `T: Clone`.
+    ///
+    /// # Panics
+    /// Panics if `objects.len()` differs from the permutation length.
+    pub fn apply_cloned<T: Clone>(&self, objects: &[T]) -> Vec<T> {
+        assert_eq!(objects.len(), self.len(), "object array length must match permutation");
+        self.perm.iter().map(|&old| objects[old].clone()).collect()
+    }
+
+    /// Permute the object array in place using cycle decomposition; requires no `Clone`
+    /// and allocates only one bit per object for cycle bookkeeping.
+    ///
+    /// # Panics
+    /// Panics if `objects.len()` differs from the permutation length.
+    pub fn apply_in_place<T>(&self, objects: &mut [T]) {
+        assert_eq!(objects.len(), self.len(), "object array length must match permutation");
+        let mut visited = vec![false; self.len()];
+        for start in 0..self.len() {
+            if visited[start] || self.perm[start] == start {
+                visited[start] = true;
+                continue;
+            }
+            // Follow the cycle that starts at `start`, swapping elements into place.
+            let mut current = start;
+            while !visited[current] {
+                visited[current] = true;
+                let source = self.perm[current];
+                if source != start {
+                    objects.swap(current, source);
+                    current = source;
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Compose two permutations: applying the result is equivalent to applying `self`
+    /// first and then `other` (both expressed as old→new rank maps).
+    ///
+    /// # Panics
+    /// Panics if the permutations have different lengths.
+    pub fn then(&self, other: &Permutation) -> Permutation {
+        assert_eq!(self.len(), other.len(), "cannot compose permutations of different lengths");
+        let rank: Vec<usize> = (0..self.len()).map(|old| other.rank[self.rank[old]]).collect();
+        Permutation::from_rank(rank)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn keys(vals: &[u128]) -> Vec<SortKey> {
+        vals.iter().enumerate().map(|(i, &key)| SortKey { object: i, key }).collect()
+    }
+
+    #[test]
+    fn ranking_sorts_by_key() {
+        let p = Permutation::from_sort_keys(&keys(&[30, 10, 20]));
+        // Object 1 has the smallest key -> rank 0.
+        assert_eq!(p.rank_of(1), 0);
+        assert_eq!(p.rank_of(2), 1);
+        assert_eq!(p.rank_of(0), 2);
+        assert_eq!(p.sources(), &[1, 2, 0]);
+    }
+
+    #[test]
+    fn ties_are_broken_by_object_index() {
+        let p = Permutation::from_sort_keys(&keys(&[5, 5, 5, 1]));
+        assert_eq!(p.sources(), &[3, 0, 1, 2]);
+    }
+
+    #[test]
+    fn rank_and_perm_are_inverses() {
+        let p = Permutation::from_sort_keys(&keys(&[9, 2, 7, 4, 0, 3]));
+        for old in 0..p.len() {
+            assert_eq!(p.source_of(p.rank_of(old)), old);
+        }
+        for new in 0..p.len() {
+            assert_eq!(p.rank_of(p.source_of(new)), new);
+        }
+        assert_eq!(p.inverse().inverse(), p);
+    }
+
+    #[test]
+    fn apply_cloned_matches_apply_in_place() {
+        let p = Permutation::from_sort_keys(&keys(&[4, 1, 3, 0, 2]));
+        let objects: Vec<String> = (0..5).map(|i| format!("obj{i}")).collect();
+        let cloned = p.apply_cloned(&objects);
+        let mut in_place = objects.clone();
+        p.apply_in_place(&mut in_place);
+        assert_eq!(cloned, in_place);
+        // The object with the smallest key (object 3) must now be first.
+        assert_eq!(cloned[0], "obj3");
+    }
+
+    #[test]
+    fn remap_indices_follows_objects() {
+        let p = Permutation::from_sort_keys(&keys(&[4, 1, 3, 0, 2]));
+        let objects: Vec<usize> = (0..5).collect();
+        let new_objects = p.apply_cloned(&objects);
+        // An interaction list that referred to old object `i` must, after remapping,
+        // refer to the position where old object `i` now lives.
+        let mut list = vec![0usize, 2, 4];
+        p.remap_indices(&mut list);
+        for (&old, &new) in [0usize, 2, 4].iter().zip(&list) {
+            assert_eq!(new_objects[new], old);
+        }
+    }
+
+    #[test]
+    fn remap_u32_matches_usize() {
+        let p = Permutation::from_sort_keys(&keys(&[2, 0, 1]));
+        let mut a = vec![0usize, 1, 2];
+        let mut b = vec![0u32, 1, 2];
+        p.remap_indices(&mut a);
+        p.remap_indices_u32(&mut b);
+        assert_eq!(a, b.iter().map(|&x| x as usize).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn identity_detection() {
+        let p = Permutation::from_sort_keys(&keys(&[1, 2, 3]));
+        assert!(p.is_identity());
+        let q = Permutation::from_sort_keys(&keys(&[3, 2, 1]));
+        assert!(!q.is_identity());
+        assert!(Permutation::identity(7).is_identity());
+    }
+
+    #[test]
+    fn composition_applies_left_then_right() {
+        let p = Permutation::from_rank(vec![1, 2, 0]); // old0->1, old1->2, old2->0
+        let q = Permutation::from_rank(vec![2, 0, 1]);
+        let pq = p.then(&q);
+        // old0 -> p:1 -> q:0
+        assert_eq!(pq.rank_of(0), 0);
+        // old1 -> p:2 -> q:1
+        assert_eq!(pq.rank_of(1), 1);
+        assert_eq!(pq.rank_of(2), 2);
+        assert!(pq.is_identity());
+    }
+
+    #[test]
+    fn empty_permutation_is_fine() {
+        let p = Permutation::from_sort_keys(&[]);
+        assert!(p.is_empty());
+        let mut v: Vec<u8> = vec![];
+        p.apply_in_place(&mut v);
+        assert!(p.apply_cloned(&v).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one sort key")]
+    fn duplicate_object_in_keys_panics() {
+        let bad = vec![SortKey { object: 0, key: 1 }, SortKey { object: 0, key: 2 }];
+        Permutation::from_sort_keys(&bad);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must match")]
+    fn mismatched_apply_panics() {
+        let p = Permutation::identity(3);
+        p.apply_cloned(&[1, 2]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Property-based tests for the reordering library: the invariants here are the ones
+//! the paper's correctness rests on — every ordering is a bijection, reordering never
+//! loses or duplicates an object, index remapping follows objects wherever they move,
+//! and the Hilbert curve really is a locality-preserving traversal.
+
+use proptest::prelude::*;
+use reorder::hilbert::{hilbert_decode, hilbert_encode};
+use reorder::morton::{morton_decode, morton_encode};
+use reorder::permute::Permutation;
+use reorder::rowcol::{column_decode, column_key, row_decode, row_key};
+use reorder::{compute_reordering, reorder_by_method, Method};
+
+fn coords_strategy(dims: usize, bits: u32) -> impl Strategy<Value = Vec<u32>> {
+    let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
+    prop::collection::vec(0..=max, dims)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn hilbert_roundtrips_2d(c in coords_strategy(2, 16)) {
+        let idx = hilbert_encode(&c, 16);
+        prop_assert_eq!(hilbert_decode(idx, 2, 16), c);
+    }
+
+    #[test]
+    fn hilbert_roundtrips_3d(c in coords_strategy(3, 21)) {
+        let idx = hilbert_encode(&c, 21);
+        prop_assert_eq!(hilbert_decode(idx, 3, 21), c);
+    }
+
+    #[test]
+    fn hilbert_roundtrips_4d(c in coords_strategy(4, 10)) {
+        let idx = hilbert_encode(&c, 10);
+        prop_assert_eq!(hilbert_decode(idx, 4, 10), c);
+    }
+
+    #[test]
+    fn morton_roundtrips_3d(c in coords_strategy(3, 20)) {
+        let idx = morton_encode(&c, 20);
+        prop_assert_eq!(morton_decode(idx, 3, 20), c);
+    }
+
+    #[test]
+    fn rowcol_roundtrips_3d(c in coords_strategy(3, 20)) {
+        prop_assert_eq!(column_decode(column_key(&c, 20), 3, 20), c.clone());
+        prop_assert_eq!(row_decode(row_key(&c, 20), 3, 20), c);
+    }
+
+    #[test]
+    fn hilbert_index_is_injective(a in coords_strategy(3, 12), b in coords_strategy(3, 12)) {
+        let ia = hilbert_encode(&a, 12);
+        let ib = hilbert_encode(&b, 12);
+        if a != b {
+            prop_assert_ne!(ia, ib);
+        } else {
+            prop_assert_eq!(ia, ib);
+        }
+    }
+
+    #[test]
+    fn hilbert_neighbors_in_index_are_neighbors_in_space(idx in 0u128..(1u128 << 15) - 1) {
+        // Consecutive Hilbert indices always decode to face-adjacent grid cells
+        // (Manhattan distance exactly 1) — the locality property the paper relies on.
+        let a = hilbert_decode(idx, 3, 5);
+        let b = hilbert_decode(idx + 1, 3, 5);
+        let dist: u32 = a.iter().zip(&b).map(|(&x, &y)| x.abs_diff(y)).sum();
+        prop_assert_eq!(dist, 1);
+    }
+
+    #[test]
+    fn permutation_from_arbitrary_keys_is_bijective(keys in prop::collection::vec(any::<u64>(), 1..200)) {
+        let sort_keys: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| reorder::SortKey { object: i, key: u128::from(k) })
+            .collect();
+        let p = Permutation::from_sort_keys(&sort_keys);
+        let mut seen_rank = vec![false; keys.len()];
+        let mut seen_src = vec![false; keys.len()];
+        for i in 0..keys.len() {
+            let r = p.rank_of(i);
+            let s = p.source_of(i);
+            prop_assert!(!seen_rank[r]);
+            prop_assert!(!seen_src[s]);
+            seen_rank[r] = true;
+            seen_src[s] = true;
+            prop_assert_eq!(p.source_of(p.rank_of(i)), i);
+        }
+        // Ranks must respect key order.
+        for i in 0..keys.len() {
+            for j in 0..keys.len() {
+                if keys[i] < keys[j] {
+                    prop_assert!(p.rank_of(i) < p.rank_of(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn in_place_and_cloned_application_agree(keys in prop::collection::vec(any::<u32>(), 1..300)) {
+        let sort_keys: Vec<_> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| reorder::SortKey { object: i, key: u128::from(k) })
+            .collect();
+        let p = Permutation::from_sort_keys(&sort_keys);
+        let objects: Vec<usize> = (0..keys.len()).collect();
+        let cloned = p.apply_cloned(&objects);
+        let mut in_place = objects;
+        p.apply_in_place(&mut in_place);
+        prop_assert_eq!(cloned, in_place);
+    }
+
+    #[test]
+    fn reorder_preserves_multiset_of_objects(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 1..200),
+        method_idx in 0usize..4,
+    ) {
+        let method = Method::ALL[method_idx];
+        let mut objects: Vec<(usize, [f64; 3])> =
+            pts.iter().enumerate().map(|(i, &(x, y, z))| (i, [x, y, z])).collect();
+        let r = reorder_by_method(method, &mut objects, 3, |o, d| o.1[d]);
+        prop_assert_eq!(r.len(), pts.len());
+        let mut ids: Vec<usize> = objects.iter().map(|o| o.0).collect();
+        ids.sort_unstable();
+        prop_assert_eq!(ids, (0..pts.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remapped_indices_follow_objects(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0), 2..150),
+        raw_refs in prop::collection::vec(any::<usize>(), 1..50),
+    ) {
+        let n = pts.len();
+        let refs: Vec<usize> = raw_refs.iter().map(|&r| r % n).collect();
+        let mut objects: Vec<(usize, [f64; 2])> =
+            pts.iter().enumerate().map(|(i, &(x, y))| (i, [x, y])).collect();
+        let before: Vec<usize> = refs.iter().map(|&i| objects[i].0).collect();
+        let r = reorder_by_method(Method::Hilbert, &mut objects, 2, |o, d| o.1[d]);
+        let mut remapped = refs.clone();
+        r.remap_indices(&mut remapped);
+        let after: Vec<usize> = remapped.iter().map(|&i| objects[i].0).collect();
+        prop_assert_eq!(before, after);
+    }
+
+    #[test]
+    fn reordering_is_idempotent(
+        pts in prop::collection::vec((0.0f64..1.0, 0.0f64..1.0, 0.0f64..1.0), 2..100),
+        method_idx in 0usize..4,
+    ) {
+        // Applying the same ordering twice must not move anything the second time
+        // (stable tie-breaking makes the second permutation the identity).
+        let method = Method::ALL[method_idx];
+        let mut objects: Vec<[f64; 3]> = pts.iter().map(|&(x, y, z)| [x, y, z]).collect();
+        reorder_by_method(method, &mut objects, 3, |o, d| o[d]);
+        let snapshot = objects.clone();
+        let second = reorder_by_method(method, &mut objects, 3, |o, d| o[d]);
+        prop_assert!(second.is_identity());
+        prop_assert_eq!(objects, snapshot);
+    }
+
+    #[test]
+    fn compute_reordering_never_panics_on_degenerate_data(
+        n in 1usize..100,
+        value in -1e6f64..1e6,
+    ) {
+        // All points coincident: every method must still return a valid permutation.
+        for method in Method::ALL {
+            let r = compute_reordering(method, n, 3, |_, _| value);
+            prop_assert_eq!(r.len(), n);
+            prop_assert!(r.is_identity());
+        }
+    }
+}

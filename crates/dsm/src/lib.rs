@@ -1,0 +1,43 @@
+//! # `dsm` — page-based software distributed shared memory simulators
+//!
+//! The paper's software platforms are TreadMarks and HLRC running on a cluster of 16
+//! Pentium II machines connected by 100 Mb/s Ethernet.  Both are *page-based,
+//! multiple-writer, lazy release consistency* (LRC) systems; they differ in where
+//! modifications are kept and how they propagate:
+//!
+//! * **TreadMarks** (homeless LRC): each writer keeps diffs of the pages it modified.
+//!   A processor that faults on a page after a synchronization point must fetch diffs
+//!   from *every* processor that modified the page since its copy was last brought up
+//!   to date — one message exchange per writer.
+//! * **HLRC** (home-based LRC): every page has a home node.  Writers send their diffs
+//!   to the home at release/barrier time; a faulting processor fetches the *whole page*
+//!   from the home with a single exchange.
+//!
+//! Consequently, for the same degree of (false) sharing TreadMarks sends more messages
+//! while HLRC sends more bytes — which is exactly the behaviour Table 3 of the paper
+//! shows and Section 5.2 discusses.  Data reordering attacks the common cause: it
+//! reduces the number of pages written by multiple processors per interval, which cuts
+//! both the diff traffic and the page fetches.
+//!
+//! We do not have a 16-node 1999 cluster, so this crate simulates both protocols at the
+//! level that determines the paper's reported quantities: per-interval per-processor
+//! read/write page sets (from [`smtrace`]).  The simulators produce **message counts**
+//! and **data volumes** (Table 3) deterministically, and a [`cost::NetworkCostModel`]
+//! with the paper's measured latencies (126 µs round-trip, 1 308 µs page fetch,
+//! 313–1 544 µs diff fetch, 643 µs barrier) converts them into estimated execution
+//! times and speedups (Figures 8 and 9).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cost;
+pub mod history;
+pub mod hlrc;
+pub mod protocol;
+pub mod treadmarks;
+
+pub use cost::{NetworkCostModel, TimeEstimate};
+pub use history::PageWriteHistory;
+pub use hlrc::HlrcSim;
+pub use protocol::{DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
+pub use treadmarks::TreadMarksSim;

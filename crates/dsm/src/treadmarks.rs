@@ -1,0 +1,308 @@
+//! Homeless multiple-writer lazy release consistency — the TreadMarks-like protocol.
+//!
+//! Behavioural model (following TreadMarks' invalidate-based LRC as described in the
+//! paper and in Amza et al., IEEE Computer 1996):
+//!
+//! * During an interval each processor writes its own copy of whatever pages it touches
+//!   (multiple-writer: no communication on writes); at the next synchronization point
+//!   it is understood to have created a *diff* per written page.
+//! * Write notices travel with the barrier/lock messages; pages for which another
+//!   processor holds newer diffs are invalidated.
+//! * On the first access to an invalidated page, the faulting processor requests the
+//!   missing diffs from **every** processor that wrote the page in intervals it has not
+//!   yet seen — one request/response exchange (2 messages) per such writer — and applies
+//!   them.  The data volume is the sum of the diff sizes.
+//! * Barriers cost `2 * (P - 1)` messages (arrival + departure with the manager), locks
+//!   cost 3 messages per acquisition, both as in TreadMarks.
+//!
+//! The quantities the paper reports (messages, Mbytes) are therefore determined by the
+//! per-interval page write history alone — which is what the simulator consumes.
+
+use smtrace::{ObjectLayout, ProgramTrace};
+
+use crate::history::PageWriteHistory;
+use crate::protocol::{DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
+
+/// Messages per barrier for a P-processor barrier (arrival and release messages between
+/// every non-manager node and the barrier manager).
+pub fn barrier_messages(num_procs: usize) -> u64 {
+    2 * (num_procs as u64 - 1)
+}
+
+/// Messages per lock acquisition (request, forward to last owner, grant).
+pub const LOCK_MESSAGES: u64 = 3;
+
+/// The TreadMarks-like protocol simulator.
+#[derive(Debug, Clone)]
+pub struct TreadMarksSim {
+    config: DsmConfig,
+}
+
+impl TreadMarksSim {
+    /// Create a simulator for the given configuration.
+    pub fn new(config: DsmConfig) -> Self {
+        TreadMarksSim { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> DsmConfig {
+        self.config
+    }
+
+    /// Simulate the protocol over a trace, using the trace's own object layout.
+    pub fn run(&self, trace: &ProgramTrace) -> DsmRunResult {
+        self.run_with_layout(trace, &trace.layout)
+    }
+
+    /// Simulate the protocol over a trace with an explicit object layout (used to
+    /// evaluate a different object placement for the same logical computation).
+    pub fn run_with_layout(&self, trace: &ProgramTrace, layout: &ObjectLayout) -> DsmRunResult {
+        let history = PageWriteHistory::build(trace, layout, self.config.page_bytes);
+        self.run_history(&history)
+    }
+
+    /// Simulate the protocol over a pre-built page write history.
+    pub fn run_history(&self, history: &PageWriteHistory) -> DsmRunResult {
+        let p = self.config.num_procs;
+        assert_eq!(history.num_procs, p, "history and configuration disagree on processor count");
+        let num_pages = history.num_pages;
+
+        // diff_bytes[t][page] for each writer: bytes written by `writer` to `page` in
+        // interval `t`.  Stored per interval as a map from page to per-writer bytes.
+        // For the fault processing we need, for each page, the list of (interval,
+        // writer, bytes); build a per-page timeline.
+        let mut timeline: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); num_pages];
+        for (t, per_proc) in history.intervals.iter().enumerate() {
+            for (w, sets) in per_proc.iter().enumerate() {
+                for (&page, &bytes) in &sets.writes {
+                    if page < num_pages {
+                        timeline[page].push((t, w, bytes));
+                    }
+                }
+            }
+        }
+
+        let mut per_proc = vec![ProcStats::default(); p];
+        // Diffs served by each processor to its peers (accumulated separately to avoid
+        // double-borrowing `per_proc` inside the fault loop).
+        let mut served_diffs = vec![0u64; p];
+        let mut served_bytes = vec![0u64; p];
+        // last_seen[proc][page]: the processor has incorporated all diffs from intervals
+        // strictly before this value.  Initially 0 (everyone starts with the initialized
+        // data of "interval -1").
+        let mut last_seen = vec![vec![0usize; num_pages]; p];
+
+        for (t, interval) in history.intervals.iter().enumerate() {
+            for (proc, sets) in interval.iter().enumerate() {
+                let stats = &mut per_proc[proc];
+                stats.accesses += sets.accesses;
+                stats.lock_acquires += u64::from(sets.lock_acquires);
+                // Pages this processor touches in this interval (read or write): it must
+                // first validate them by fetching any missing diffs from other writers.
+                let touched: std::collections::BTreeSet<usize> = sets
+                    .reads
+                    .keys()
+                    .chain(sets.writes.keys())
+                    .copied()
+                    .filter(|&pg| pg < num_pages)
+                    .collect();
+                for page in touched {
+                    let from = last_seen[proc][page];
+                    if from >= t {
+                        continue;
+                    }
+                    // Collect per-writer diff bytes for intervals in [from, t).
+                    let mut per_writer: std::collections::BTreeMap<usize, u64> =
+                        std::collections::BTreeMap::new();
+                    for &(ti, w, bytes) in &timeline[page] {
+                        if ti >= from && ti < t && w != proc {
+                            *per_writer.entry(w).or_insert(0) += bytes;
+                        }
+                    }
+                    last_seen[proc][page] = t;
+                    if per_writer.is_empty() {
+                        continue;
+                    }
+                    // One remote fault, one request/response exchange per writer.
+                    stats.remote_faults += 1;
+                    for (&writer, &bytes) in &per_writer {
+                        stats.fetch_exchanges += 1;
+                        stats.messages += 2;
+                        stats.data_bytes += bytes;
+                        served_diffs[writer] += 1;
+                        served_bytes[writer] += bytes;
+                    }
+                }
+            }
+        }
+        for proc in 0..p {
+            per_proc[proc].diffs_sent = served_diffs[proc];
+            per_proc[proc].diff_bytes_sent = served_bytes[proc];
+            per_proc[proc].messages += LOCK_MESSAGES * per_proc[proc].lock_acquires;
+        }
+
+        let mut stats = DsmStats {
+            barriers: history.barriers,
+            lock_acquires: per_proc.iter().map(|s| s.lock_acquires).sum(),
+            ..Default::default()
+        };
+        stats.messages = per_proc.iter().map(|s| s.messages).sum::<u64>()
+            + history.barriers * barrier_messages(p);
+        stats.data_bytes = per_proc.iter().map(|s| s.data_bytes).sum();
+        stats.remote_faults = per_proc.iter().map(|s| s.remote_faults).sum();
+        stats.fetch_exchanges = per_proc.iter().map(|s| s.fetch_exchanges).sum();
+        stats.diffs_created = per_proc.iter().map(|s| s.diffs_sent).sum();
+
+        DsmRunResult { protocol: Protocol::TreadMarks, config: self.config, stats, per_proc }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtrace::TraceBuilder;
+
+    /// Two processors, two intervals: p0 writes object 0 (page 0) in interval 0, p1
+    /// reads it in interval 1 — one diff fetch.
+    #[test]
+    fn single_producer_consumer_costs_one_diff_exchange() {
+        let layout = ObjectLayout::new(128, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 2);
+        b.write(0, 0);
+        b.barrier();
+        b.read(1, 0);
+        b.barrier();
+        let trace = b.finish();
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, 2));
+        let r = sim.run(&trace);
+        assert_eq!(r.stats.remote_faults, 1);
+        assert_eq!(r.stats.fetch_exchanges, 1);
+        // 2 messages for the diff exchange + 2 barriers * 2 messages each.
+        assert_eq!(r.stats.messages, 2 + 2 * barrier_messages(2));
+        assert_eq!(r.stats.data_bytes, 64);
+        assert!(r.aggregate_consistent());
+    }
+
+    /// False sharing: many writers of the same page force the reader to fetch one diff
+    /// per writer — the multiplicative message cost the paper attributes to TreadMarks.
+    #[test]
+    fn falsely_shared_page_costs_one_exchange_per_writer() {
+        let layout = ObjectLayout::new(64, 64); // one 4 KB page
+        let procs = 8;
+        let mut b = TraceBuilder::new(layout.clone(), procs);
+        for p in 0..procs - 1 {
+            b.write(p, p); // distinct objects, same page
+        }
+        b.barrier();
+        b.read(procs - 1, 63);
+        b.barrier();
+        let trace = b.finish();
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, procs));
+        let r = sim.run(&trace);
+        let reader = &r.per_proc[procs - 1];
+        assert_eq!(reader.remote_faults, 1);
+        assert_eq!(reader.fetch_exchanges, (procs - 1) as u64);
+        assert_eq!(reader.messages, 2 * (procs - 1) as u64);
+        assert_eq!(reader.data_bytes, 64 * (procs - 1) as u64);
+    }
+
+    /// After reordering, each processor writes a different page: a reader of one object
+    /// only fetches one diff, so messages and data drop.
+    #[test]
+    fn partitioned_pages_cost_less_than_shared_pages() {
+        let procs = 4;
+        // Shared: 64 objects of 64 B on one page; partitioned: same objects spread so
+        // each processor's objects live on its own page (256 objects of 64 B = 4 pages,
+        // block-assigned).
+        let shared_layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(shared_layout.clone(), procs);
+        for p in 0..procs {
+            for k in 0..16 {
+                b.write(p, p + 4 * k);
+            }
+        }
+        b.barrier();
+        for p in 0..procs {
+            b.read(p, (p + 1) % 64);
+        }
+        b.barrier();
+        let shared_trace = b.finish();
+
+        let part_layout = ObjectLayout::new(256, 64);
+        let mut b = TraceBuilder::new(part_layout.clone(), procs);
+        for p in 0..procs {
+            for k in 0..16 {
+                b.write(p, p * 64 + k);
+            }
+        }
+        b.barrier();
+        for p in 0..procs {
+            b.read(p, p * 64 + 17);
+        }
+        b.barrier();
+        let part_trace = b.finish();
+
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, procs));
+        let shared = sim.run(&shared_trace);
+        let part = sim.run(&part_trace);
+        assert!(shared.stats.messages > part.stats.messages);
+        assert!(shared.stats.data_bytes > part.stats.data_bytes);
+        // In the partitioned case the later reads are to the processor's own pages, so
+        // no diff traffic at all.
+        assert_eq!(part.stats.fetch_exchanges, 0);
+    }
+
+    #[test]
+    fn own_writes_never_cause_fetches() {
+        let layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 2);
+        b.write(0, 1);
+        b.barrier();
+        b.read(0, 1);
+        b.write(0, 2);
+        b.barrier();
+        b.read(0, 2);
+        b.barrier();
+        let trace = b.finish();
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, 2));
+        let r = sim.run(&trace);
+        assert_eq!(r.stats.remote_faults, 0);
+        assert_eq!(r.stats.data_bytes, 0);
+    }
+
+    #[test]
+    fn locks_add_three_messages_each() {
+        let layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 2);
+        b.lock(0, 1);
+        b.lock(1, 1);
+        b.lock(1, 2);
+        b.barrier();
+        let trace = b.finish();
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, 2));
+        let r = sim.run(&trace);
+        assert_eq!(r.stats.lock_acquires, 3);
+        assert_eq!(r.stats.messages, 3 * LOCK_MESSAGES + barrier_messages(2));
+    }
+
+    #[test]
+    fn diffs_served_match_diffs_fetched() {
+        let layout = ObjectLayout::new(128, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 3);
+        b.write(0, 0);
+        b.write(1, 1);
+        b.barrier();
+        b.read(2, 0);
+        b.read(2, 1);
+        b.barrier();
+        let trace = b.finish();
+        let sim = TreadMarksSim::new(DsmConfig::new(4096, 3));
+        let r = sim.run(&trace);
+        let fetched: u64 = r.per_proc.iter().map(|p| p.fetch_exchanges).sum();
+        let served: u64 = r.per_proc.iter().map(|p| p.diffs_sent).sum();
+        assert_eq!(fetched, served);
+        let received: u64 = r.per_proc.iter().map(|p| p.data_bytes).sum();
+        let sent: u64 = r.per_proc.iter().map(|p| p.diff_bytes_sent).sum();
+        assert_eq!(received, sent);
+    }
+}

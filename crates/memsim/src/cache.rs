@@ -1,0 +1,273 @@
+//! Set-associative cache simulator with LRU replacement.
+//!
+//! Models one level of cache (the Origin 2000's unified 8 MB L2 in the paper's setup).
+//! The model is trace-driven and only tracks tags, not data: an access either hits or
+//! misses, and a miss fills the line, evicting the least recently used line of its set.
+//! Writes are write-allocate (a write miss also fills the line), matching the R12000's
+//! behaviour and the assumption behind the paper's miss counts.
+
+/// Geometry of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Associativity (ways per set). `1` = direct mapped.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// Create a configuration, checking that the geometry is consistent.
+    ///
+    /// # Panics
+    /// Panics if any parameter is zero, if `capacity` is not a multiple of
+    /// `line_bytes * associativity`, or if the resulting number of sets is not a power
+    /// of two (a power-of-two set count keeps the index computation honest).
+    pub fn new(capacity_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
+        assert!(capacity_bytes > 0 && line_bytes > 0 && associativity > 0);
+        assert!(
+            capacity_bytes % (line_bytes * associativity) == 0,
+            "capacity must be a whole number of sets"
+        );
+        let sets = capacity_bytes / (line_bytes * associativity);
+        assert!(sets.is_power_of_two(), "number of sets ({sets}) must be a power of two");
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        CacheConfig { capacity_bytes, line_bytes, associativity }
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.capacity_bytes / (self.line_bytes * self.associativity)
+    }
+
+    /// Number of lines the cache holds in total.
+    pub fn num_lines(&self) -> usize {
+        self.capacity_bytes / self.line_bytes
+    }
+}
+
+/// Hit/miss counters accumulated by a [`Cache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses observed.
+    pub accesses: u64,
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (cold, capacity or conflict).
+    pub misses: u64,
+    /// Misses caused by an external invalidation (set by the coherence layer, not by
+    /// the cache itself).
+    pub coherence_misses: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio in `[0, 1]`; zero when no accesses were observed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Merge another processor's counters into this one (used for machine-wide totals).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.accesses += other.accesses;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coherence_misses += other.coherence_misses;
+    }
+}
+
+/// A set-associative LRU cache over byte addresses.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    /// `sets[s]` holds the tags resident in set `s`, ordered from most to least
+    /// recently used.  Associativities in this study are small (≤ 16), so a Vec with
+    /// linear search is faster than any fancier structure.
+    sets: Vec<Vec<u64>>,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Create an empty (all-cold) cache.
+    pub fn new(config: CacheConfig) -> Self {
+        Cache { config, sets: vec![Vec::new(); config.num_sets()], stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clear counters but keep cache contents (used between warm-up and measurement).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Line index (line number in the whole address space) of a byte address.
+    #[inline]
+    fn line_of(&self, addr: usize) -> u64 {
+        (addr / self.config.line_bytes) as u64
+    }
+
+    /// Access the byte at `addr`; returns `true` on a hit.  A miss fills the line.
+    pub fn access(&mut self, addr: usize) -> bool {
+        let line = self.line_of(addr);
+        self.access_line(line)
+    }
+
+    /// Access a whole line by line number; returns `true` on a hit.
+    pub fn access_line(&mut self, line: u64) -> bool {
+        self.stats.accesses += 1;
+        let set_idx = (line as usize) & (self.config.num_sets() - 1);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            // Hit: move to MRU position.
+            let tag = set.remove(pos);
+            set.insert(0, tag);
+            self.stats.hits += 1;
+            true
+        } else {
+            // Miss: fill, evicting LRU if the set is full.
+            if set.len() == self.config.associativity {
+                set.pop();
+            }
+            set.insert(0, line);
+            self.stats.misses += 1;
+            false
+        }
+    }
+
+    /// Invalidate a line if present (called by the coherence layer when another
+    /// processor writes the line).  Returns `true` if the line was resident.
+    pub fn invalidate_line(&mut self, line: u64) -> bool {
+        let set_idx = (line as usize) & (self.config.num_sets() - 1);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|&t| t == line) {
+            set.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Record that a miss was caused by coherence (invalidation) rather than
+    /// capacity/cold; bookkeeping used by [`crate::coherence::MultiprocessorSim`].
+    pub fn note_coherence_miss(&mut self) {
+        self.stats.coherence_misses += 1;
+    }
+
+    /// Whether a line is currently resident (does not update LRU or counters).
+    pub fn contains_line(&self, line: u64) -> bool {
+        let set_idx = (line as usize) & (self.config.num_sets() - 1);
+        self.sets[set_idx].contains(&line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheConfig {
+        // 4 sets x 2 ways x 64-byte lines = 512 bytes.
+        CacheConfig::new(512, 64, 2)
+    }
+
+    #[test]
+    fn geometry_is_computed_correctly() {
+        let c = tiny();
+        assert_eq!(c.num_sets(), 4);
+        assert_eq!(c.num_lines(), 8);
+        let origin = CacheConfig::new(8 << 20, 128, 2);
+        assert_eq!(origin.num_lines(), 65536);
+    }
+
+    #[test]
+    fn repeated_access_hits_after_cold_miss() {
+        let mut cache = Cache::new(tiny());
+        assert!(!cache.access(0));
+        assert!(cache.access(0));
+        assert!(cache.access(63)); // same line
+        assert!(!cache.access(64)); // next line
+        let s = cache.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 2);
+        assert_eq!(s.misses, 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used_way() {
+        let mut cache = Cache::new(tiny());
+        // Three lines mapping to the same set (set index = line & 3): lines 0, 4, 8.
+        assert!(!cache.access_line(0));
+        assert!(!cache.access_line(4));
+        // Touch line 0 again so line 4 becomes LRU.
+        assert!(cache.access_line(0));
+        // Line 8 evicts line 4, not line 0.
+        assert!(!cache.access_line(8));
+        assert!(cache.contains_line(0));
+        assert!(!cache.contains_line(4));
+        assert!(cache.access_line(0));
+    }
+
+    #[test]
+    fn sequential_scan_of_working_set_larger_than_cache_always_misses_on_revisit() {
+        let mut cache = Cache::new(tiny());
+        // 16 distinct lines > 8-line capacity; two passes in the same order.
+        for pass in 0..2 {
+            for line in 0..16u64 {
+                let hit = cache.access_line(line);
+                if pass == 1 {
+                    assert!(!hit, "LRU with a cyclic scan larger than capacity cannot hit");
+                }
+            }
+        }
+        assert_eq!(cache.stats().misses, 32);
+    }
+
+    #[test]
+    fn small_working_set_fits_and_hits() {
+        let mut cache = Cache::new(tiny());
+        for _ in 0..10 {
+            for line in 0..8u64 {
+                cache.access_line(line);
+            }
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 8, "only compulsory misses expected");
+        assert_eq!(s.hits, 72);
+        assert!((s.miss_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalidation_forces_a_re_miss() {
+        let mut cache = Cache::new(tiny());
+        cache.access_line(5);
+        assert!(cache.access_line(5));
+        assert!(cache.invalidate_line(5));
+        assert!(!cache.invalidate_line(5));
+        assert!(!cache.access_line(5), "invalidated line must miss again");
+    }
+
+    #[test]
+    fn stats_merge_adds_componentwise() {
+        let mut a = CacheStats { accesses: 10, hits: 6, misses: 4, coherence_misses: 1 };
+        let b = CacheStats { accesses: 5, hits: 2, misses: 3, coherence_misses: 2 };
+        a.merge(&b);
+        assert_eq!(a, CacheStats { accesses: 15, hits: 8, misses: 7, coherence_misses: 3 });
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_sets_panics() {
+        CacheConfig::new(3 * 64, 64, 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! # `memsim` — hardware shared-memory simulator
+//!
+//! The paper's hardware platform is a 16-processor SGI Origin 2000: per-processor 8 MB
+//! second-level caches with 128-byte lines, 16 KB pages, and a directory-based
+//! cache-coherence protocol.  Table 2 of the paper reports, for every benchmark and
+//! every data ordering, the execution time together with the number of **L2 cache
+//! misses** and **TLB misses** on 1 and on 16 processors — those two counters are what
+//! data reordering improves.
+//!
+//! We do not have an Origin 2000 (or its hardware counters), so this crate provides the
+//! substitute substrate: trace-driven simulators that compute the same counters from the
+//! applications' object-access traces.
+//!
+//! * [`cache::Cache`] — a set-associative, LRU, write-allocate cache model used for the
+//!   per-processor L2.
+//! * [`tlb::Tlb`] — a fully-associative LRU TLB model over pages.
+//! * [`coherence::MultiprocessorSim`] — P caches plus an invalidation-based directory;
+//!   replaying an interleaved trace yields cold/capacity *and* coherence (false-sharing)
+//!   misses per processor.
+//! * [`sharing`] — the page-sharing analyses behind Figures 1, 2, 4, 5 and 6.
+//! * [`origin::OriginPreset`] — the Origin 2000 cache/TLB/page parameters and a simple
+//!   cost model that converts miss counts into estimated execution times for the
+//!   Figure 7 speedup comparison.
+//!
+//! The simulators are deterministic: identical traces produce identical counts, so the
+//! original-versus-reordered comparisons in `EXPERIMENTS.md` are exactly reproducible.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod coherence;
+pub mod origin;
+pub mod sharing;
+pub mod tlb;
+
+pub use cache::{Cache, CacheConfig, CacheStats};
+pub use coherence::{MultiprocessorSim, ProcessorStats, SimulationResult};
+pub use origin::{CostModel, OriginPreset};
+pub use sharing::{page_sharing, page_update_map, PageSharingReport};
+pub use tlb::{Tlb, TlbConfig, TlbStats};

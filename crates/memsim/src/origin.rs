@@ -1,0 +1,176 @@
+//! SGI Origin 2000 parameter preset and a cost model that converts simulated miss
+//! counts into estimated execution times.
+//!
+//! Section 4.1.1 of the paper describes the hardware platform: 16 × 300 MHz MIPS
+//! R12000, each with a unified 8 MB second-level cache with 128-byte lines, a 16 KB
+//! page size, connected as a directory-based ccNUMA machine.  The preset below captures
+//! the parameters that matter for the locality analysis; the cost model turns the
+//! simulator's counters into a time estimate so Figure 7 (speedups) and the time columns
+//! of Table 2 can be regenerated.  Absolute seconds are not expected to match 1999
+//! hardware — the comparisons of interest (original vs Hilbert vs column ordering, and
+//! the scaling from 1 to 16 processors) depend only on the relative counts.
+
+use crate::cache::CacheConfig;
+use crate::coherence::{MultiprocessorSim, SimulationResult};
+use crate::tlb::TlbConfig;
+
+/// Cache, TLB and page parameters of the simulated hardware shared-memory machine.
+#[derive(Debug, Clone, Copy)]
+pub struct OriginPreset {
+    /// Per-processor second-level cache geometry.
+    pub l2: CacheConfig,
+    /// Per-processor TLB geometry.
+    pub tlb: TlbConfig,
+    /// Virtual-memory page size in bytes (for page-level sharing analyses).
+    pub page_bytes: usize,
+    /// Number of processors in the machine.
+    pub num_procs: usize,
+}
+
+impl OriginPreset {
+    /// The paper's Origin 2000: 8 MB two-way L2 with 128-byte lines, 64-entry TLB over
+    /// 16 KB pages, `num_procs` processors.
+    pub fn origin2000(num_procs: usize) -> Self {
+        OriginPreset {
+            l2: CacheConfig::new(8 << 20, 128, 2),
+            tlb: TlbConfig::new(64, 16 * 1024),
+            page_bytes: 16 * 1024,
+            num_procs,
+        }
+    }
+
+    /// A deliberately small machine for fast unit tests and miniature experiments:
+    /// 64 KB two-way L2 with 128-byte lines, 16-entry TLB over 4 KB pages.
+    pub fn miniature(num_procs: usize) -> Self {
+        OriginPreset {
+            l2: CacheConfig::new(64 << 10, 128, 2),
+            tlb: TlbConfig::new(16, 4096),
+            page_bytes: 4096,
+            num_procs,
+        }
+    }
+
+    /// Build the corresponding multiprocessor simulator.
+    pub fn build_machine(&self) -> MultiprocessorSim {
+        MultiprocessorSim::new(self.num_procs, self.l2, self.tlb)
+    }
+}
+
+/// Converts counter values into estimated execution time.
+///
+/// Time per processor is modelled as
+/// `work = accesses * cost_per_access + l2_misses * l2_miss_penalty + tlb_misses *
+/// tlb_miss_penalty + coherence_misses * remote_penalty`, and the machine's execution
+/// time is the maximum over processors (the critical path between barriers is
+/// approximated by the whole-trace maximum, adequate because the applications are
+/// load-balanced by construction).
+#[derive(Debug, Clone, Copy)]
+pub struct CostModel {
+    /// Cost of one object access that hits in the cache (seconds).  Includes the
+    /// arithmetic performed per interaction, so it is application-calibrated.
+    pub cost_per_access: f64,
+    /// Penalty of an L2 miss served from local memory (seconds).
+    pub l2_miss_penalty: f64,
+    /// Penalty of a TLB miss (software-assisted reload on the R12000) (seconds).
+    pub tlb_miss_penalty: f64,
+    /// Extra penalty of a miss served by another processor's cache (coherence miss).
+    pub remote_penalty: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        // Loosely calibrated to a 300 MHz R12000-class machine: ~60 ns per interaction
+        // worth of work, ~340 ns local memory latency, ~700 ns TLB refill, ~1 µs
+        // remote intervention.  Only ratios matter for the reproduced comparisons.
+        CostModel {
+            cost_per_access: 60e-9,
+            l2_miss_penalty: 340e-9,
+            tlb_miss_penalty: 700e-9,
+            remote_penalty: 1_000e-9,
+        }
+    }
+}
+
+impl CostModel {
+    /// Estimated execution time of one processor's share.
+    pub fn processor_time(&self, stats: &crate::coherence::ProcessorStats) -> f64 {
+        stats.accesses as f64 * self.cost_per_access
+            + stats.cache.misses as f64 * self.l2_miss_penalty
+            + stats.tlb.misses as f64 * self.tlb_miss_penalty
+            + stats.cache.coherence_misses as f64 * self.remote_penalty
+    }
+
+    /// Estimated execution time of the whole machine: the slowest processor.
+    pub fn machine_time(&self, result: &SimulationResult) -> f64 {
+        result
+            .per_proc
+            .iter()
+            .map(|p| self.processor_time(p))
+            .fold(0.0, f64::max)
+    }
+
+    /// Speedup of `parallel` over `sequential` under this cost model.
+    pub fn speedup(&self, sequential: &SimulationResult, parallel: &SimulationResult) -> f64 {
+        let seq = self.machine_time(sequential);
+        let par = self.machine_time(parallel);
+        if par == 0.0 {
+            0.0
+        } else {
+            seq / par
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::ProcessorStats;
+    use crate::{CacheStats, TlbStats};
+
+    #[test]
+    fn origin_preset_matches_the_paper() {
+        let o = OriginPreset::origin2000(16);
+        assert_eq!(o.l2.capacity_bytes, 8 << 20);
+        assert_eq!(o.l2.line_bytes, 128);
+        assert_eq!(o.tlb.page_bytes, 16 * 1024);
+        assert_eq!(o.page_bytes, 16 * 1024);
+        assert_eq!(o.num_procs, 16);
+        assert_eq!(o.build_machine().num_procs(), 16);
+    }
+
+    #[test]
+    fn more_misses_cost_more_time() {
+        let model = CostModel::default();
+        let cheap = ProcessorStats {
+            accesses: 1000,
+            cache: CacheStats { accesses: 1000, hits: 990, misses: 10, coherence_misses: 0 },
+            tlb: TlbStats { accesses: 1000, hits: 995, misses: 5 },
+        };
+        let pricey = ProcessorStats {
+            accesses: 1000,
+            cache: CacheStats { accesses: 1000, hits: 200, misses: 800, coherence_misses: 400 },
+            tlb: TlbStats { accesses: 1000, hits: 100, misses: 900 },
+        };
+        assert!(model.processor_time(&pricey) > model.processor_time(&cheap) * 5.0);
+    }
+
+    #[test]
+    fn machine_time_is_critical_path() {
+        let model = CostModel::default();
+        let fast = ProcessorStats { accesses: 10, ..Default::default() };
+        let slow = ProcessorStats { accesses: 1_000_000, ..Default::default() };
+        let result = SimulationResult { per_proc: vec![fast, slow, fast] };
+        let t = model.machine_time(&result);
+        assert!((t - model.processor_time(&slow)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn perfect_parallelism_gives_linear_speedup() {
+        let model = CostModel::default();
+        let seq_proc = ProcessorStats { accesses: 16_000, ..Default::default() };
+        let par_proc = ProcessorStats { accesses: 1_000, ..Default::default() };
+        let seq = SimulationResult { per_proc: vec![seq_proc] };
+        let par = SimulationResult { per_proc: vec![par_proc; 16] };
+        assert!((model.speedup(&seq, &par) - 16.0).abs() < 1e-9);
+    }
+}

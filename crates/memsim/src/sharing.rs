@@ -1,0 +1,205 @@
+//! Page-sharing analysis: the data behind Figures 1, 2, 4 and 5 of the paper.
+//!
+//! Figure 1 (and Figure 4 after reordering) show *which pages each processor updates*
+//! for the 168-particle example; Figures 2 and 5 plot, for the 32 768-particle run, the
+//! *number of processors sharing each page* of the particle array, before and after
+//! Hilbert reordering.  Both are pure functions of the trace and the object layout,
+//! computed here.
+
+use std::collections::BTreeSet;
+
+use smtrace::{ObjectLayout, ProgramTrace, SharingHistogram, UnitAccessSets};
+
+/// The per-page sharing report for one trace at one consistency-unit size.
+#[derive(Debug, Clone)]
+pub struct PageSharingReport {
+    /// Consistency-unit size in bytes the report was computed for.
+    pub unit_bytes: usize,
+    /// Number of units covering the object array.
+    pub num_units: usize,
+    /// `sharers[u]` — number of processors that touched unit `u` anywhere in the trace
+    /// (Figures 2 and 5 plot exactly this, with writes counted as touching).
+    pub sharers: Vec<u32>,
+    /// `writers[u]` — number of processors that wrote unit `u`.
+    pub writers: Vec<u32>,
+    /// Number of units flagged as falsely shared (≥2 sharers, ≥1 writer, disjoint
+    /// object sets).
+    pub falsely_shared_units: usize,
+}
+
+impl PageSharingReport {
+    /// Average number of processors sharing a unit, over units touched at least once.
+    pub fn mean_sharers(&self) -> f64 {
+        let touched: Vec<u32> = self.sharers.iter().copied().filter(|&s| s > 0).collect();
+        if touched.is_empty() {
+            0.0
+        } else {
+            touched.iter().map(|&s| f64::from(s)).sum::<f64>() / touched.len() as f64
+        }
+    }
+
+    /// Average number of processors *writing* a unit, over units written at least once
+    /// (the quantity Figures 2/5 are most sensitive to).
+    pub fn mean_writers(&self) -> f64 {
+        let written: Vec<u32> = self.writers.iter().copied().filter(|&w| w > 0).collect();
+        if written.is_empty() {
+            0.0
+        } else {
+            written.iter().map(|&w| f64::from(w)).sum::<f64>() / written.len() as f64
+        }
+    }
+
+    /// Number of units touched by at least two processors.
+    pub fn shared_units(&self) -> usize {
+        self.sharers.iter().filter(|&&s| s >= 2).count()
+    }
+}
+
+/// Compute the aggregate sharing report over the whole trace: a processor counts as
+/// sharing a unit if it touches it in *any* interval.  This matches the paper's figures,
+/// which are per-iteration snapshots of a steady-state iteration.
+pub fn page_sharing(trace: &ProgramTrace, layout: &ObjectLayout, unit_bytes: usize) -> PageSharingReport {
+    let num_units = layout.num_units(unit_bytes);
+    // Aggregate each processor's sets over all intervals first, then count sharers.
+    let mut per_proc: Vec<UnitAccessSets> = vec![UnitAccessSets::default(); trace.num_procs];
+    for interval in &trace.intervals {
+        for (p, sets) in interval.unit_sets(layout, unit_bytes).into_iter().enumerate() {
+            per_proc[p].read_units.extend(sets.read_units.iter().copied());
+            per_proc[p].write_units.extend(sets.write_units.iter().copied());
+            per_proc[p].read_objects.extend(sets.read_objects.iter().copied());
+            per_proc[p].written_objects.extend(sets.written_objects.iter().copied());
+        }
+    }
+    let hist = SharingHistogram::from_unit_sets(&per_proc, num_units);
+    PageSharingReport {
+        unit_bytes,
+        num_units,
+        sharers: hist.sharers,
+        writers: hist.writers,
+        falsely_shared_units: hist.falsely_shared.iter().filter(|&&f| f).count(),
+    }
+}
+
+/// For each processor, the set of units it *writes* anywhere in the trace — the data
+/// behind Figure 1 / Figure 4 ("locations to be updated by the four processors").
+pub fn page_update_map(
+    trace: &ProgramTrace,
+    layout: &ObjectLayout,
+    unit_bytes: usize,
+) -> Vec<BTreeSet<usize>> {
+    let mut per_proc = vec![BTreeSet::new(); trace.num_procs];
+    for interval in &trace.intervals {
+        for (p, sets) in interval.unit_sets(layout, unit_bytes).into_iter().enumerate() {
+            per_proc[p].extend(sets.write_units.iter().copied());
+        }
+    }
+    per_proc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtrace::TraceBuilder;
+
+    /// Build a trace in which each of `procs` processors writes `per_proc` objects
+    /// chosen by `assign(p, k) -> object`.
+    fn trace_from_assignment(
+        n: usize,
+        object_size: usize,
+        procs: usize,
+        per_proc: usize,
+        assign: impl Fn(usize, usize) -> usize,
+    ) -> ProgramTrace {
+        let layout = ObjectLayout::new(n, object_size);
+        let mut b = TraceBuilder::new(layout, procs);
+        for p in 0..procs {
+            for k in 0..per_proc {
+                b.write(p, assign(p, k));
+            }
+        }
+        b.barrier();
+        b.finish()
+    }
+
+    #[test]
+    fn random_assignment_shares_every_page_contiguous_assignment_shares_none() {
+        // 1024 objects of 64 B = 16 pages of 4 KB; 4 processors, 256 objects each.
+        let n = 1024;
+        let procs = 4;
+        // Scattered (round-robin) assignment: processor p owns objects p, p+4, p+8, ...
+        let scattered =
+            trace_from_assignment(n, 64, procs, n / procs, |p, k| p + k * procs);
+        // Contiguous (block) assignment after "reordering": processor p owns a block.
+        let blocked =
+            trace_from_assignment(n, 64, procs, n / procs, |p, k| p * (n / procs) + k);
+        let layout = ObjectLayout::new(n, 64);
+        let rep_s = page_sharing(&scattered, &layout, 4096);
+        let rep_b = page_sharing(&blocked, &layout, 4096);
+        assert_eq!(rep_s.num_units, 16);
+        assert!((rep_s.mean_sharers() - procs as f64).abs() < 1e-9);
+        assert!((rep_b.mean_sharers() - 1.0).abs() < 1e-9);
+        assert_eq!(rep_b.shared_units(), 0);
+        assert!(rep_s.falsely_shared_units > 0);
+        assert_eq!(rep_b.falsely_shared_units, 0);
+    }
+
+    #[test]
+    fn update_map_reports_written_pages_per_processor() {
+        let n = 168;
+        let layout = ObjectLayout::new(n, 96);
+        let mut b = TraceBuilder::new(layout.clone(), 4);
+        // Processor p updates objects scattered with stride 4 (like the paper's Figure 1).
+        for p in 0..4 {
+            for k in 0..(n / 4) {
+                b.write(p, p + 4 * k);
+            }
+        }
+        b.barrier();
+        let t = b.finish();
+        let map = page_update_map(&t, &layout, 4096);
+        // Every processor touches every one of the 4 pages.
+        for pages in &map {
+            assert_eq!(pages.len(), 4);
+        }
+        // Block assignment instead: each processor's writes stay on ~1 page.
+        let mut b = TraceBuilder::new(layout.clone(), 4);
+        for p in 0..4 {
+            for k in 0..(n / 4) {
+                b.write(p, p * (n / 4) + k);
+            }
+        }
+        b.barrier();
+        let t = b.finish();
+        let map = page_update_map(&t, &layout, 4096);
+        for pages in &map {
+            assert!(pages.len() <= 2, "block assignment must stay within 1-2 pages");
+        }
+    }
+
+    #[test]
+    fn sharers_aggregate_across_intervals() {
+        let layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 2);
+        b.write(0, 0);
+        b.barrier();
+        b.write(1, 1); // same 4 KB page, later interval
+        b.barrier();
+        let t = b.finish();
+        let rep = page_sharing(&t, &layout, 4096);
+        assert_eq!(rep.sharers[0], 2);
+        assert_eq!(rep.writers[0], 2);
+    }
+
+    #[test]
+    fn mean_writers_ignores_read_only_pages() {
+        let layout = ObjectLayout::new(128, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 2);
+        b.write(0, 0);
+        b.read(1, 127);
+        b.barrier();
+        let t = b.finish();
+        let rep = page_sharing(&t, &layout, 4096);
+        assert!((rep.mean_writers() - 1.0).abs() < 1e-9);
+        assert!(rep.mean_sharers() >= 1.0);
+    }
+}

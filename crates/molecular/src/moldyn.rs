@@ -1,0 +1,497 @@
+//! Moldyn — molecular dynamics with an interaction list (Chaos benchmark, Category 2).
+//!
+//! The computational structure mirrors the non-bonded force calculation of CHARMM: all
+//! pairs of molecules within a cutoff radius are kept in an **interaction list** that is
+//! rebuilt every few time steps; each time step iterates over the list, computing a
+//! Lennard-Jones force per pair and updating *both* partners.  The molecule array is
+//! block partitioned: pair (i, j) is handled by the owner of `i`, so reads and partner
+//! updates reach into other processors' blocks — which is where the false sharing and
+//! the scattered reads come from when the array order is random.
+//!
+//! Because molecule reordering is not constrained by any computation partition, the
+//! whole fix is to reorder the molecule array and remap the interaction list.  The
+//! paper's guidance: column ordering on page-based software DSM, Hilbert on hardware
+//! shared memory.
+
+use rayon::prelude::*;
+use reorder::{reorder_by_method, Method, Reordering};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+
+use crate::cellgrid::CellGrid;
+
+/// Object size (bytes) of a Moldyn molecule record, from Table 1 of the paper.
+pub const MOLECULE_BYTES: usize = 72;
+
+/// One molecule: position, velocity and accumulated force.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Molecule {
+    /// Position.
+    pub pos: [f64; 3],
+    /// Velocity.
+    pub vel: [f64; 3],
+    /// Force accumulated during the current step.
+    pub force: [f64; 3],
+}
+
+impl Molecule {
+    /// A molecule at rest at `pos`.
+    pub fn at_rest(pos: [f64; 3]) -> Self {
+        Molecule { pos, vel: [0.0; 3], force: [0.0; 3] }
+    }
+}
+
+/// Tunable parameters of the Moldyn simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct MoldynParams {
+    /// Side length of the simulation box.
+    pub box_side: f64,
+    /// Cutoff radius of the non-bonded interaction.
+    pub cutoff: f64,
+    /// Integration time step.
+    pub dt: f64,
+    /// Number of time steps between interaction-list rebuilds.
+    pub rebuild_interval: usize,
+}
+
+impl Default for MoldynParams {
+    fn default() -> Self {
+        MoldynParams { box_side: 13.0, cutoff: 2.5, dt: 1e-3, rebuild_interval: 20 }
+    }
+}
+
+/// The Moldyn application state.
+#[derive(Debug, Clone)]
+pub struct Moldyn {
+    /// The molecule array (the object array that data reordering permutes).
+    pub molecules: Vec<Molecule>,
+    /// Simulation parameters.
+    pub params: MoldynParams,
+    /// The interaction list: pairs `(i, j)` with `i < j` within the cutoff at the time
+    /// of the last rebuild.
+    pub pairs: Vec<(u32, u32)>,
+    steps_since_rebuild: usize,
+}
+
+impl Moldyn {
+    /// Create a simulation from molecule positions (the interaction list is built
+    /// immediately).
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty.
+    pub fn new(positions: &[[f64; 3]], params: MoldynParams) -> Self {
+        assert!(!positions.is_empty(), "need at least one molecule");
+        let molecules = positions.iter().map(|&p| Molecule::at_rest(p)).collect();
+        let mut sim = Moldyn { molecules, params, pairs: Vec::new(), steps_since_rebuild: 0 };
+        sim.rebuild_interaction_list();
+        sim
+    }
+
+    /// The paper's input scale: `n` molecules on a jittered lattice at liquid density,
+    /// stored in random order.
+    pub fn lattice(n: usize, seed: u64, params: MoldynParams) -> Self {
+        let positions = workloads::cubic_lattice(n, params.box_side, 0.25, seed);
+        Moldyn::new(&positions, params)
+    }
+
+    /// Number of molecules.
+    pub fn num_molecules(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// Number of interaction pairs currently in the list.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Object-array layout for the address-space analyses (72-byte records, Table 1).
+    pub fn layout(&self) -> ObjectLayout {
+        ObjectLayout::new(self.molecules.len(), MOLECULE_BYTES)
+    }
+
+    /// Block partition: molecule `i` is owned by processor `i * P / n` — the simple
+    /// static partition Category-2 applications use.
+    pub fn owner_of(&self, molecule: usize, num_procs: usize) -> usize {
+        molecule * num_procs / self.molecules.len()
+    }
+
+    /// Rebuild the interaction list from the current positions using a cell grid.
+    pub fn rebuild_interaction_list(&mut self) {
+        let positions: Vec<[f64; 3]> = self.molecules.iter().map(|m| m.pos).collect();
+        let grid = CellGrid::build(&positions, self.params.box_side, self.params.cutoff);
+        let cutoff2 = self.params.cutoff * self.params.cutoff;
+        let mut pairs = Vec::new();
+        for c in 0..grid.num_cells() {
+            for &i in &grid.members[c] {
+                for n in grid.neighborhood(c) {
+                    for &j in &grid.members[n] {
+                        if j <= i {
+                            continue;
+                        }
+                        let pi = positions[i as usize];
+                        let pj = positions[j as usize];
+                        let d2: f64 = (0..3).map(|d| (pi[d] - pj[d]).powi(2)).sum();
+                        if d2 < cutoff2 {
+                            pairs.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        // Deterministic order: sort by the owning (first) molecule, matching the Chaos
+        // code's iteration order over its block.
+        pairs.sort_unstable();
+        self.pairs = pairs;
+        self.steps_since_rebuild = 0;
+    }
+
+    /// Apply a data reordering to the molecule array and remap the interaction list.
+    pub fn reorder(&mut self, method: Method) -> Reordering {
+        let reordering = reorder_by_method(method, &mut self.molecules, 3, |m, d| m.pos[d]);
+        for (a, b) in self.pairs.iter_mut() {
+            *a = reordering.remap_index(*a as usize) as u32;
+            *b = reordering.remap_index(*b as usize) as u32;
+        }
+        // Keep the pair list sorted by owner after remapping.
+        for p in self.pairs.iter_mut() {
+            if p.0 > p.1 {
+                *p = (p.1, p.0);
+            }
+        }
+        self.pairs.sort_unstable();
+        reordering
+    }
+
+    /// Lennard-Jones force (truncated at the cutoff) between two positions; returns the
+    /// force on the first molecule (the second gets the negation).
+    fn pair_force(&self, pi: [f64; 3], pj: [f64; 3]) -> [f64; 3] {
+        let cutoff2 = self.params.cutoff * self.params.cutoff;
+        let mut d = [0.0; 3];
+        let mut r2 = 0.0;
+        for k in 0..3 {
+            d[k] = pi[k] - pj[k];
+            r2 += d[k] * d[k];
+        }
+        if r2 >= cutoff2 || r2 < 1e-12 {
+            return [0.0; 3];
+        }
+        // LJ with sigma = 1, epsilon = 1: F = 24 (2 r^-14 - r^-8) * d.
+        let inv_r2 = 1.0 / r2;
+        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        let scalar = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+        [d[0] * scalar, d[1] * scalar, d[2] * scalar]
+    }
+
+    fn integrate(&mut self, range: std::ops::Range<usize>) {
+        let dt = self.params.dt;
+        for m in &mut self.molecules[range] {
+            for k in 0..3 {
+                m.vel[k] += m.force[k] * dt;
+                m.pos[k] += m.vel[k] * dt;
+                // Reflective walls keep the box size stable over long runs.
+                if m.pos[k] < 0.0 {
+                    m.pos[k] = -m.pos[k];
+                    m.vel[k] = -m.vel[k];
+                } else if m.pos[k] > self.params.box_side {
+                    m.pos[k] = 2.0 * self.params.box_side - m.pos[k];
+                    m.vel[k] = -m.vel[k];
+                }
+            }
+        }
+    }
+
+    fn clear_forces(&mut self) {
+        for m in &mut self.molecules {
+            m.force = [0.0; 3];
+        }
+    }
+
+    fn maybe_rebuild(&mut self) {
+        self.steps_since_rebuild += 1;
+        if self.steps_since_rebuild >= self.params.rebuild_interval {
+            self.rebuild_interaction_list();
+        }
+    }
+
+    /// One sequential time step.
+    pub fn step_sequential(&mut self) {
+        self.clear_forces();
+        for &(i, j) in &self.pairs.clone() {
+            let f = self.pair_force(self.molecules[i as usize].pos, self.molecules[j as usize].pos);
+            for k in 0..3 {
+                self.molecules[i as usize].force[k] += f[k];
+                self.molecules[j as usize].force[k] -= f[k];
+            }
+        }
+        self.integrate(0..self.molecules.len());
+        self.maybe_rebuild();
+    }
+
+    /// One rayon-parallel time step: pairs are partitioned by the owner of their first
+    /// molecule; each task accumulates forces into a private buffer, and the buffers are
+    /// reduced before integration (the shared-memory code updates partners in place —
+    /// the reduction produces identical results without data races).
+    pub fn step_parallel(&mut self, num_chunks: usize) {
+        self.clear_forces();
+        let n = self.molecules.len();
+        let chunks = num_chunks.max(1);
+        let pair_chunks: Vec<Vec<(u32, u32)>> = {
+            let mut per = vec![Vec::new(); chunks];
+            for &(i, j) in &self.pairs {
+                per[self.owner_of(i as usize, chunks)].push((i, j));
+            }
+            per
+        };
+        let partials: Vec<Vec<[f64; 3]>> = pair_chunks
+            .par_iter()
+            .map(|pairs| {
+                let mut forces = vec![[0.0f64; 3]; n];
+                for &(i, j) in pairs {
+                    let f = self.pair_force(
+                        self.molecules[i as usize].pos,
+                        self.molecules[j as usize].pos,
+                    );
+                    for k in 0..3 {
+                        forces[i as usize][k] += f[k];
+                        forces[j as usize][k] -= f[k];
+                    }
+                }
+                forces
+            })
+            .collect();
+        for partial in &partials {
+            for (m, f) in self.molecules.iter_mut().zip(partial) {
+                for k in 0..3 {
+                    m.force[k] += f[k];
+                }
+            }
+        }
+        self.integrate(0..n);
+        self.maybe_rebuild();
+    }
+
+    /// One traced time step over `num_procs` virtual processors.  Two intervals per
+    /// step: force computation (owner of `i` reads both molecules of each of its pairs
+    /// and writes both), then integration (each processor writes its own block).
+    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
+        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+        self.clear_forces();
+        // Interval 1: force computation over the interaction list.
+        for &(i, j) in &self.pairs.clone() {
+            let proc = self.owner_of(i as usize, num_procs);
+            builder.read(proc, i as usize);
+            builder.read(proc, j as usize);
+            let f = self.pair_force(self.molecules[i as usize].pos, self.molecules[j as usize].pos);
+            for k in 0..3 {
+                self.molecules[i as usize].force[k] += f[k];
+                self.molecules[j as usize].force[k] -= f[k];
+            }
+            builder.write(proc, i as usize);
+            builder.write(proc, j as usize);
+        }
+        builder.barrier();
+        // Interval 2: integration of each processor's own block.
+        let n = self.molecules.len();
+        for proc in 0..num_procs {
+            let start = proc * n / num_procs;
+            let end = (proc + 1) * n / num_procs;
+            for i in start..end {
+                builder.read(proc, i);
+                builder.write(proc, i);
+            }
+        }
+        self.integrate(0..n);
+        builder.barrier();
+        self.maybe_rebuild();
+    }
+
+    /// Run `steps` traced time steps on `num_procs` virtual processors.
+    pub fn trace_steps(&mut self, steps: usize, num_procs: usize) -> ProgramTrace {
+        let mut builder = TraceBuilder::new(self.layout(), num_procs);
+        for _ in 0..steps {
+            self.step_traced(num_procs, &mut builder);
+        }
+        builder.finish()
+    }
+
+    /// Total kinetic energy (diagnostic).
+    pub fn kinetic_energy(&self) -> f64 {
+        self.molecules
+            .iter()
+            .map(|m| 0.5 * m.vel.iter().map(|v| v * v).sum::<f64>())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: usize, seed: u64) -> Moldyn {
+        Moldyn::lattice(
+            n,
+            seed,
+            MoldynParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4, rebuild_interval: 5 },
+        )
+    }
+
+    #[test]
+    fn interaction_list_contains_exactly_the_pairs_within_cutoff() {
+        let sim = small(200, 1);
+        let cutoff2 = sim.params.cutoff * sim.params.cutoff;
+        let mut expected = Vec::new();
+        for i in 0..sim.molecules.len() as u32 {
+            for j in (i + 1)..sim.molecules.len() as u32 {
+                let pi = sim.molecules[i as usize].pos;
+                let pj = sim.molecules[j as usize].pos;
+                let d2: f64 = (0..3).map(|d| (pi[d] - pj[d]).powi(2)).sum();
+                if d2 < cutoff2 {
+                    expected.push((i, j));
+                }
+            }
+        }
+        expected.sort_unstable();
+        assert_eq!(sim.pairs, expected);
+    }
+
+    #[test]
+    fn sequential_and_parallel_steps_agree() {
+        let mut a = small(300, 2);
+        let mut b = a.clone();
+        for _ in 0..3 {
+            a.step_sequential();
+            b.step_parallel(4);
+        }
+        for (x, y) in a.molecules.iter().zip(&b.molecules) {
+            for k in 0..3 {
+                assert!((x.pos[k] - y.pos[k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_and_sequential_physics_agree() {
+        let mut a = small(200, 3);
+        let mut b = a.clone();
+        a.step_sequential();
+        let mut builder = TraceBuilder::new(b.layout(), 4);
+        b.step_traced(4, &mut builder);
+        for (x, y) in a.molecules.iter().zip(&b.molecules) {
+            for k in 0..3 {
+                assert!((x.pos[k] - y.pos[k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn momentum_is_conserved_by_pairwise_forces() {
+        let mut sim = small(250, 4);
+        for _ in 0..3 {
+            sim.step_sequential();
+        }
+        let mut momentum = [0.0f64; 3];
+        for m in &sim.molecules {
+            for k in 0..3 {
+                momentum[k] += m.vel[k];
+            }
+        }
+        for k in 0..3 {
+            assert!(momentum[k].abs() < 1e-9, "net momentum {momentum:?}");
+        }
+    }
+
+    #[test]
+    fn reordering_remaps_the_interaction_list_consistently() {
+        let mut sim = small(300, 5);
+        // Tag each molecule by its original position so we can check pairs still refer
+        // to the same physical molecules after reordering.
+        let original_positions: Vec<[f64; 3]> = sim.molecules.iter().map(|m| m.pos).collect();
+        let original_pairs: std::collections::BTreeSet<(String, String)> = sim
+            .pairs
+            .iter()
+            .map(|&(i, j)| {
+                let mut a = format!("{:?}", original_positions[i as usize]);
+                let mut b = format!("{:?}", original_positions[j as usize]);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                (a, b)
+            })
+            .collect();
+        sim.reorder(Method::Column);
+        let new_pairs: std::collections::BTreeSet<(String, String)> = sim
+            .pairs
+            .iter()
+            .map(|&(i, j)| {
+                let mut a = format!("{:?}", sim.molecules[i as usize].pos);
+                let mut b = format!("{:?}", sim.molecules[j as usize].pos);
+                if a > b {
+                    std::mem::swap(&mut a, &mut b);
+                }
+                (a, b)
+            })
+            .collect();
+        assert_eq!(original_pairs, new_pairs);
+    }
+
+    #[test]
+    fn reordering_does_not_change_the_dynamics() {
+        let mut a = small(200, 6);
+        let mut b = a.clone();
+        b.reorder(Method::Hilbert);
+        for _ in 0..2 {
+            a.step_sequential();
+            b.step_sequential();
+        }
+        // Compare multisets of positions (the arrays are permuted relative to each other).
+        let key = |m: &Molecule| {
+            (
+                (m.pos[0] * 1e9).round() as i64,
+                (m.pos[1] * 1e9).round() as i64,
+                (m.pos[2] * 1e9).round() as i64,
+            )
+        };
+        let mut ka: Vec<_> = a.molecules.iter().map(key).collect();
+        let mut kb: Vec<_> = b.molecules.iter().map(key).collect();
+        ka.sort_unstable();
+        kb.sort_unstable();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn traced_step_emits_two_intervals_per_step() {
+        let mut sim = small(128, 7);
+        let trace = sim.trace_steps(2, 4);
+        assert_eq!(trace.intervals.len(), 4);
+        // The integration interval writes every molecule exactly once.
+        let writes: usize = trace.intervals[1]
+            .accesses
+            .iter()
+            .map(|s| s.iter().filter(|a| a.is_write()).count())
+            .sum();
+        assert_eq!(writes, 128);
+    }
+
+    #[test]
+    fn interaction_list_is_rebuilt_on_schedule() {
+        let mut sim = small(100, 8);
+        sim.params.rebuild_interval = 2;
+        let before = sim.pairs.clone();
+        sim.step_sequential();
+        assert_eq!(sim.steps_since_rebuild, 1);
+        sim.step_sequential();
+        assert_eq!(sim.steps_since_rebuild, 0, "list must be rebuilt after 2 steps");
+        let _ = before;
+    }
+
+    #[test]
+    fn block_partition_owner_is_monotonic_and_balanced() {
+        let sim = small(160, 9);
+        let owners: Vec<usize> = (0..160).map(|i| sim.owner_of(i, 8)).collect();
+        for w in owners.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+        for p in 0..8 {
+            assert_eq!(owners.iter().filter(|&&o| o == p).count(), 20);
+        }
+    }
+}

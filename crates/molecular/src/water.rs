@@ -1,0 +1,411 @@
+//! Water-Spatial — the SPLASH-2 spatial-decomposition water simulation (Category 1).
+//!
+//! A uniform 3-D grid of cells is imposed on the box; each cell chains together the
+//! molecules currently inside it, and each processor owns a physically contiguous block
+//! of cells.  To evaluate the intermolecular forces for its molecules, a processor only
+//! scans the 27-cell neighbourhood of each of its cells — so reads are physically local
+//! by construction, but because the molecule array is stored in random order those
+//! physically local molecules are scattered over the whole array in memory.
+//!
+//! The molecule record is large (680 bytes, Table 1) — bigger than the Origin's 128-byte
+//! L2 line — which is why the paper finds reordering gives essentially no improvement on
+//! the hardware platform for this application while still helping on page-based software
+//! DSM, where a 4–8 KB page holds several molecules.  The record layout below mirrors
+//! that size class: per-atom positions, velocities and forces for the three atoms of a
+//! water molecule.
+
+use rayon::prelude::*;
+use reorder::{reorder_by_method, Method, Reordering};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+
+use crate::cellgrid::CellGrid;
+
+/// Object size (bytes) of a Water-Spatial molecule record, from Table 1 of the paper.
+pub const WATER_MOLECULE_BYTES: usize = 680;
+
+/// One water molecule: oxygen plus two hydrogens, each with position, velocity and
+/// force, plus bookkeeping — a deliberately "fat" record like the original benchmark's.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaterMolecule {
+    /// Atom positions: `[O, H1, H2]`.
+    pub atom_pos: [[f64; 3]; 3],
+    /// Atom velocities.
+    pub atom_vel: [[f64; 3]; 3],
+    /// Atom forces accumulated this step.
+    pub atom_force: [[f64; 3]; 3],
+    /// Potential energy contribution of this molecule (diagnostic).
+    pub potential: f64,
+}
+
+impl WaterMolecule {
+    /// Create a molecule at rest with its oxygen at `center` and the hydrogens at fixed
+    /// offsets (the intramolecular geometry is frozen; only intermolecular forces are
+    /// simulated, which is what drives the memory behaviour).
+    pub fn at_rest(center: [f64; 3]) -> Self {
+        let h_offset = 0.04;
+        WaterMolecule {
+            atom_pos: [
+                center,
+                [center[0] + h_offset, center[1] + h_offset, center[2]],
+                [center[0] - h_offset, center[1] + h_offset, center[2]],
+            ],
+            atom_vel: [[0.0; 3]; 3],
+            atom_force: [[0.0; 3]; 3],
+            potential: 0.0,
+        }
+    }
+
+    /// Centre (oxygen) position — the coordinate used for cell binning and reordering.
+    pub fn center(&self) -> [f64; 3] {
+        self.atom_pos[0]
+    }
+}
+
+/// Tunable parameters of the Water-Spatial simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct WaterSpatialParams {
+    /// Side length of the simulation box.
+    pub box_side: f64,
+    /// Cutoff radius for intermolecular interactions.
+    pub cutoff: f64,
+    /// Integration time step.
+    pub dt: f64,
+}
+
+impl Default for WaterSpatialParams {
+    fn default() -> Self {
+        WaterSpatialParams { box_side: 12.0, cutoff: 2.2, dt: 5e-4 }
+    }
+}
+
+/// The Water-Spatial application state.
+#[derive(Debug, Clone)]
+pub struct WaterSpatial {
+    /// The molecule array (the object array that data reordering permutes).
+    pub molecules: Vec<WaterMolecule>,
+    /// Simulation parameters.
+    pub params: WaterSpatialParams,
+    /// The cell grid chaining spatially adjacent molecules (rebuilt each step, since
+    /// molecules may move between cells).
+    pub grid: CellGrid,
+}
+
+impl WaterSpatial {
+    /// Create a simulation from molecule centre positions.
+    ///
+    /// # Panics
+    /// Panics if `positions` is empty.
+    pub fn new(positions: &[[f64; 3]], params: WaterSpatialParams) -> Self {
+        assert!(!positions.is_empty(), "need at least one molecule");
+        let molecules: Vec<WaterMolecule> =
+            positions.iter().map(|&p| WaterMolecule::at_rest(p)).collect();
+        let grid = CellGrid::build(positions, params.box_side, params.cutoff);
+        WaterSpatial { molecules, params, grid }
+    }
+
+    /// The paper's input scale: `n` molecules on a jittered lattice, stored in random
+    /// order.
+    pub fn lattice(n: usize, seed: u64, params: WaterSpatialParams) -> Self {
+        let positions = workloads::cubic_lattice(n, params.box_side, 0.2, seed);
+        WaterSpatial::new(&positions, params)
+    }
+
+    /// Number of molecules.
+    pub fn num_molecules(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// Object-array layout for the address-space analyses (680-byte records, Table 1).
+    pub fn layout(&self) -> ObjectLayout {
+        ObjectLayout::new(self.molecules.len(), WATER_MOLECULE_BYTES)
+    }
+
+    /// Apply a data reordering to the molecule array and rebuild the cell grid (the
+    /// grid stores molecule indices, so rebuilding is simpler and no more expensive than
+    /// remapping).
+    pub fn reorder(&mut self, method: Method) -> Reordering {
+        let reordering =
+            reorder_by_method(method, &mut self.molecules, 3, |m, d| m.center()[d]);
+        let centers: Vec<[f64; 3]> = self.molecules.iter().map(|m| m.center()).collect();
+        self.grid.rebuild(&centers);
+        reordering
+    }
+
+    /// Owner of each cell under a slab decomposition into `num_procs` processors.
+    pub fn cell_owners(&self, num_procs: usize) -> Vec<usize> {
+        self.grid.partition_slabs(num_procs)
+    }
+
+    /// Intermolecular force between two molecules (acting on the first's oxygen), using
+    /// a Lennard-Jones interaction between the oxygen sites truncated at the cutoff.
+    fn pair_force(&self, a: usize, b: usize) -> ([f64; 3], f64) {
+        let pa = self.molecules[a].center();
+        let pb = self.molecules[b].center();
+        let cutoff2 = self.params.cutoff * self.params.cutoff;
+        let mut d = [0.0; 3];
+        let mut r2 = 0.0;
+        for k in 0..3 {
+            d[k] = pa[k] - pb[k];
+            r2 += d[k] * d[k];
+        }
+        if r2 >= cutoff2 || r2 < 1e-12 {
+            return ([0.0; 3], 0.0);
+        }
+        let inv_r2 = 1.0 / r2;
+        let inv_r6 = inv_r2 * inv_r2 * inv_r2;
+        let scalar = 24.0 * inv_r2 * inv_r6 * (2.0 * inv_r6 - 1.0);
+        let potential = 4.0 * inv_r6 * (inv_r6 - 1.0);
+        ([d[0] * scalar, d[1] * scalar, d[2] * scalar], potential)
+    }
+
+    /// Compute the total force on molecule `m` by scanning the 27-cell neighbourhood of
+    /// its cell; optionally records the indices of the molecules read.
+    fn force_on_molecule(&self, m: usize, mut reads: Option<&mut Vec<u32>>) -> ([f64; 3], f64) {
+        let cell = self.grid.cell_of[m] as usize;
+        let mut force = [0.0; 3];
+        let mut pot = 0.0;
+        for n in self.grid.neighborhood(cell) {
+            for &other in &self.grid.members[n] {
+                if other as usize == m {
+                    continue;
+                }
+                if let Some(r) = reads.as_deref_mut() {
+                    r.push(other);
+                }
+                let (f, p) = self.pair_force(m, other as usize);
+                for k in 0..3 {
+                    force[k] += f[k];
+                }
+                pot += 0.5 * p;
+            }
+        }
+        (force, pot)
+    }
+
+    fn integrate_all(&mut self, forces: &[([f64; 3], f64)]) {
+        let dt = self.params.dt;
+        let box_side = self.params.box_side;
+        for (m, &(f, p)) in self.molecules.iter_mut().zip(forces) {
+            m.potential = p;
+            for k in 0..3 {
+                m.atom_force[0][k] = f[k];
+                m.atom_vel[0][k] += f[k] * dt;
+                let mut new = m.atom_pos[0][k] + m.atom_vel[0][k] * dt;
+                if new < 0.0 {
+                    new = -new;
+                    m.atom_vel[0][k] = -m.atom_vel[0][k];
+                } else if new > box_side {
+                    new = 2.0 * box_side - new;
+                    m.atom_vel[0][k] = -m.atom_vel[0][k];
+                }
+                let delta = new - m.atom_pos[0][k];
+                // The hydrogens ride rigidly with the oxygen.
+                for atom in 0..3 {
+                    m.atom_pos[atom][k] += delta;
+                    m.atom_vel[atom][k] = m.atom_vel[0][k];
+                }
+            }
+        }
+        let centers: Vec<[f64; 3]> = self.molecules.iter().map(|m| m.center()).collect();
+        self.grid.rebuild(&centers);
+    }
+
+    /// One sequential time step.
+    pub fn step_sequential(&mut self) {
+        let forces: Vec<([f64; 3], f64)> =
+            (0..self.molecules.len()).map(|m| self.force_on_molecule(m, None)).collect();
+        self.integrate_all(&forces);
+    }
+
+    /// One rayon-parallel time step: molecules are processed cell-by-cell in owner
+    /// order, with the per-molecule force evaluations distributed over rayon tasks.
+    pub fn step_parallel(&mut self, num_chunks: usize) {
+        let _ = num_chunks;
+        let forces: Vec<([f64; 3], f64)> = (0..self.molecules.len())
+            .into_par_iter()
+            .map(|m| self.force_on_molecule(m, None))
+            .collect();
+        self.integrate_all(&forces);
+    }
+
+    /// One traced time step over `num_procs` virtual processors.  Two intervals: force
+    /// computation (a processor reads the neighbourhood of each of its molecules and
+    /// writes the molecule) and integration/cell-update (writes its molecules).
+    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
+        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+        let owners = self.cell_owners(num_procs);
+        // Interval 1: force computation, cell by cell, owner by owner.
+        let mut forces = vec![([0.0; 3], 0.0); self.molecules.len()];
+        let mut reads = Vec::new();
+        for c in 0..self.grid.num_cells() {
+            let proc = owners[c];
+            for &m in &self.grid.members[c] {
+                reads.clear();
+                let r = self.force_on_molecule(m as usize, Some(&mut reads));
+                builder.read(proc, m as usize);
+                for &other in &reads {
+                    builder.read(proc, other as usize);
+                }
+                builder.write(proc, m as usize);
+                forces[m as usize] = r;
+            }
+        }
+        builder.barrier();
+        // Interval 2: integration — the owner of each molecule's cell writes it.
+        for c in 0..self.grid.num_cells() {
+            let proc = owners[c];
+            for &m in &self.grid.members[c] {
+                builder.write(proc, m as usize);
+            }
+        }
+        builder.barrier();
+        self.integrate_all(&forces);
+    }
+
+    /// Run `steps` traced time steps on `num_procs` virtual processors.
+    pub fn trace_steps(&mut self, steps: usize, num_procs: usize) -> ProgramTrace {
+        let mut builder = TraceBuilder::new(self.layout(), num_procs);
+        for _ in 0..steps {
+            self.step_traced(num_procs, &mut builder);
+        }
+        builder.finish()
+    }
+
+    /// Total potential energy (diagnostic).
+    pub fn total_potential(&self) -> f64 {
+        self.molecules.iter().map(|m| m.potential).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small(n: usize, seed: u64) -> WaterSpatial {
+        WaterSpatial::lattice(
+            n,
+            seed,
+            WaterSpatialParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4 },
+        )
+    }
+
+    #[test]
+    fn record_is_the_expected_size_class() {
+        // Table 1: 680-byte objects.  The Rust record must be comparable (large, several
+        // cache lines, a few per DSM page).
+        let size = std::mem::size_of::<WaterMolecule>();
+        assert!(size >= 200 && size <= 680, "WaterMolecule is {size} bytes");
+        assert_eq!(WATER_MOLECULE_BYTES, 680);
+    }
+
+    #[test]
+    fn forces_match_a_direct_neighbour_scan() {
+        let sim = small(200, 1);
+        // Direct O(n^2) computation for a sample of molecules.
+        for m in (0..200).step_by(23) {
+            let mut expected = [0.0f64; 3];
+            for other in 0..200 {
+                if other == m {
+                    continue;
+                }
+                let (f, _) = sim.pair_force(m, other);
+                for k in 0..3 {
+                    expected[k] += f[k];
+                }
+            }
+            let (got, _) = sim.force_on_molecule(m, None);
+            for k in 0..3 {
+                assert!(
+                    (got[k] - expected[k]).abs() < 1e-9,
+                    "molecule {m} force mismatch: {got:?} vs {expected:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_and_parallel_steps_agree() {
+        let mut a = small(300, 2);
+        let mut b = a.clone();
+        for _ in 0..2 {
+            a.step_sequential();
+            b.step_parallel(4);
+        }
+        for (x, y) in a.molecules.iter().zip(&b.molecules) {
+            for k in 0..3 {
+                assert!((x.atom_pos[0][k] - y.atom_pos[0][k]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_and_sequential_physics_agree() {
+        let mut a = small(200, 3);
+        let mut b = a.clone();
+        a.step_sequential();
+        let mut builder = TraceBuilder::new(b.layout(), 4);
+        b.step_traced(4, &mut builder);
+        for (x, y) in a.molecules.iter().zip(&b.molecules) {
+            for k in 0..3 {
+                assert!((x.atom_pos[0][k] - y.atom_pos[0][k]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn molecules_stay_inside_the_box() {
+        let mut sim = small(150, 4);
+        for _ in 0..5 {
+            sim.step_sequential();
+        }
+        for m in &sim.molecules {
+            for k in 0..3 {
+                assert!(m.center()[k] >= -0.1 && m.center()[k] <= sim.params.box_side + 0.1);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_step_emits_two_intervals_and_writes_every_molecule() {
+        let mut sim = small(128, 5);
+        let trace = sim.trace_steps(1, 4);
+        assert_eq!(trace.intervals.len(), 2);
+        for interval in 0..2 {
+            let writes: usize = trace.intervals[interval]
+                .accesses
+                .iter()
+                .map(|s| s.iter().filter(|a| a.is_write()).count())
+                .sum();
+            assert_eq!(writes, 128, "interval {interval}");
+        }
+    }
+
+    #[test]
+    fn reordering_preserves_the_molecule_multiset() {
+        let mut sim = small(200, 6);
+        let mut before: Vec<String> =
+            sim.molecules.iter().map(|m| format!("{:?}", m.center())).collect();
+        sim.reorder(Method::Hilbert);
+        let mut after: Vec<String> =
+            sim.molecules.iter().map(|m| format!("{:?}", m.center())).collect();
+        before.sort();
+        after.sort();
+        assert_eq!(before, after);
+        // The grid must be consistent after the reorder.
+        for (i, &c) in sim.grid.cell_of.iter().enumerate() {
+            assert!(sim.grid.members[c as usize].contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn cell_owners_form_contiguous_slabs() {
+        let sim = small(400, 7);
+        let owners = sim.cell_owners(4);
+        assert_eq!(owners.len(), sim.grid.num_cells());
+        let mut seen = vec![false; 4];
+        for c in 0..sim.grid.num_cells() {
+            seen[owners[c]] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "every processor must own at least one cell");
+    }
+}

@@ -1,0 +1,447 @@
+//! The Barnes-Hut benchmark: hierarchical 3-D N-body simulation with costzones
+//! partitioning, as used in the paper (SPLASH-2 Barnes with sequential tree building).
+//!
+//! One iteration is:
+//!
+//! 1. **Build tree** — a single processor reads all bodies and rebuilds the octree
+//!    (barrier);
+//! 2. **Force evaluation** — bodies are divided among processors by an in-order
+//!    traversal of the tree weighted by the previous iteration's per-body work
+//!    (costzones); each processor computes forces for its bodies by partially
+//!    traversing the tree with the opening-angle criterion θ (barrier);
+//! 3. **Update** — each processor advances its bodies with a leapfrog step (barrier).
+//!
+//! The struct exposes three execution paths over the same partitioned computation:
+//! a sequential reference path, a rayon-parallel path (wall-clock measurements), and a
+//! traced path that records per-virtual-processor accesses to the body array for the
+//! `memsim`/`dsm` substrates.
+
+use rayon::prelude::*;
+use reorder::{reorder_by_method, Method, Reordering};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+
+use crate::body::{Body, BODY_BYTES_FIG};
+use crate::octree::{NodeId, Octree};
+use crate::vec3::Vec3;
+
+/// Tunable parameters of the Barnes-Hut simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct BarnesHutParams {
+    /// Opening-angle criterion θ: a cell of size `s` at distance `d` is approximated by
+    /// its centre of mass when `s / d < θ`.  θ = 0 forces exact (direct-sum) evaluation.
+    pub theta: f64,
+    /// Time step of the leapfrog integrator.
+    pub dt: f64,
+    /// Plummer softening length added to every pairwise distance.
+    pub eps: f64,
+    /// Maximum number of bodies per leaf cell.
+    pub leaf_capacity: usize,
+}
+
+impl Default for BarnesHutParams {
+    fn default() -> Self {
+        BarnesHutParams { theta: 0.5, dt: 0.025, eps: 0.05, leaf_capacity: 8 }
+    }
+}
+
+/// Result of one force evaluation for one body.
+#[derive(Debug, Clone, Copy)]
+struct ForceResult {
+    body: u32,
+    acc: Vec3,
+    phi: f64,
+    cost: u32,
+}
+
+/// The Barnes-Hut application state.
+#[derive(Debug, Clone)]
+pub struct BarnesHut {
+    /// The shared body array (the object array that data reordering permutes).
+    pub bodies: Vec<Body>,
+    /// Simulation parameters.
+    pub params: BarnesHutParams,
+}
+
+impl BarnesHut {
+    /// Create a simulation from an existing body array.
+    ///
+    /// # Panics
+    /// Panics if `bodies` is empty.
+    pub fn new(bodies: Vec<Body>, params: BarnesHutParams) -> Self {
+        assert!(!bodies.is_empty(), "need at least one body");
+        BarnesHut { bodies, params }
+    }
+
+    /// The paper's input: `n` bodies drawn from the two-Plummer distribution, stored in
+    /// random order.
+    pub fn two_plummer(n: usize, seed: u64, params: BarnesHutParams) -> Self {
+        let (pos, mass) = workloads::two_plummer(n, 3, 1.0, 6.0, seed);
+        BarnesHut::new(Body::from_positions(&pos, &mass), params)
+    }
+
+    /// Number of bodies.
+    pub fn num_bodies(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// The object-array layout used by the address-space analyses (96-byte records, as
+    /// in the paper's Figures 1–5).
+    pub fn layout(&self) -> ObjectLayout {
+        ObjectLayout::new(self.bodies.len(), BODY_BYTES_FIG)
+    }
+
+    /// Apply a data reordering to the body array (the paper's one-call library use).
+    /// Returns the applied permutation; Barnes-Hut keeps no persistent index structures
+    /// (the tree is rebuilt every iteration), so nothing else needs remapping.
+    pub fn reorder(&mut self, method: Method) -> Reordering {
+        reorder_by_method(method, &mut self.bodies, 3, |b, d| b.coord(d))
+    }
+
+    /// Build the octree over the current body positions.
+    pub fn build_tree(&self) -> Octree {
+        Octree::build(&self.bodies, self.params.leaf_capacity)
+    }
+
+    /// Costzones partition: split the in-order body sequence into `num_procs` contiguous
+    /// chunks of approximately equal total cost.  Returns one body-index list per
+    /// processor.
+    pub fn partition(&self, tree: &Octree, num_procs: usize) -> Vec<Vec<u32>> {
+        assert!(num_procs > 0);
+        let order = tree.inorder_bodies();
+        let total_cost: u64 = order.iter().map(|&b| u64::from(self.bodies[b as usize].cost.max(1))).sum();
+        let target = (total_cost as f64 / num_procs as f64).max(1.0);
+        let mut parts = vec![Vec::new(); num_procs];
+        let mut acc = 0.0;
+        let mut proc = 0usize;
+        for &b in &order {
+            if acc >= target * (proc + 1) as f64 && proc + 1 < num_procs {
+                proc += 1;
+            }
+            parts[proc].push(b);
+            acc += f64::from(self.bodies[b as usize].cost.max(1));
+        }
+        parts
+    }
+
+    /// Compute the gravitational acceleration, potential, and interaction count for
+    /// body `i` by partial traversal of `tree`.  If `reads` is provided, the indices of
+    /// every *body* read during the traversal (direct interactions within opened
+    /// leaves) are appended to it.
+    fn force_on_body(&self, tree: &Octree, i: u32, mut reads: Option<&mut Vec<u32>>) -> ForceResult {
+        let theta = self.params.theta;
+        let eps2 = self.params.eps * self.params.eps;
+        let pos_i = self.bodies[i as usize].pos;
+        let mut acc = Vec3::ZERO;
+        let mut phi = 0.0;
+        let mut cost = 0u32;
+        // Explicit stack to avoid recursion overhead in the hot loop.
+        let mut stack: Vec<NodeId> = vec![tree.root()];
+        while let Some(id) = stack.pop() {
+            let node = tree.node(id);
+            if node.mass == 0.0 {
+                continue;
+            }
+            let delta = node.com - pos_i;
+            let dist2 = delta.norm_sq() + eps2;
+            let dist = dist2.sqrt();
+            let open = 2.0 * node.half >= theta * dist;
+            if node.is_leaf || !open {
+                if node.is_leaf && open {
+                    // Direct interactions with the bodies of the leaf.
+                    for &j in &node.bodies {
+                        if j == i {
+                            continue;
+                        }
+                        let bj = &self.bodies[j as usize];
+                        if let Some(r) = reads.as_deref_mut() {
+                            r.push(j);
+                        }
+                        let d = bj.pos - pos_i;
+                        let r2 = d.norm_sq() + eps2;
+                        let r1 = r2.sqrt();
+                        let inv_r3 = 1.0 / (r2 * r1);
+                        acc += d * (bj.mass * inv_r3);
+                        phi -= bj.mass / r1;
+                        cost += 1;
+                    }
+                } else {
+                    // Cell approximation via centre of mass (reads tree data only, not
+                    // the body array).
+                    let inv_r3 = 1.0 / (dist2 * dist);
+                    acc += delta * (node.mass * inv_r3);
+                    phi -= node.mass / dist;
+                    cost += 1;
+                }
+            } else {
+                for child in node.children.into_iter().flatten() {
+                    stack.push(child);
+                }
+            }
+        }
+        ForceResult { body: i, acc, phi, cost }
+    }
+
+    fn apply_forces(&mut self, results: &[ForceResult]) {
+        for r in results {
+            let b = &mut self.bodies[r.body as usize];
+            b.acc = r.acc;
+            b.phi = r.phi;
+            b.cost = r.cost.max(1);
+        }
+    }
+
+    fn integrate_bodies(&mut self, indices: &[u32]) {
+        let dt = self.params.dt;
+        for &i in indices {
+            let b = &mut self.bodies[i as usize];
+            b.vel += b.acc * dt;
+            b.pos += b.vel * dt;
+        }
+    }
+
+    /// One sequential iteration (reference path; also used for single-processor
+    /// baselines).
+    pub fn step_sequential(&mut self) {
+        let tree = self.build_tree();
+        let results: Vec<ForceResult> = (0..self.bodies.len() as u32)
+            .map(|i| self.force_on_body(&tree, i, None))
+            .collect();
+        self.apply_forces(&results);
+        let all: Vec<u32> = (0..self.bodies.len() as u32).collect();
+        self.integrate_bodies(&all);
+    }
+
+    /// One parallel iteration using rayon: the partition is computed exactly as in the
+    /// traced path, and each chunk's forces are evaluated by a rayon task.
+    pub fn step_parallel(&mut self, num_chunks: usize) {
+        let tree = self.build_tree();
+        let parts = self.partition(&tree, num_chunks.max(1));
+        let results: Vec<ForceResult> = parts
+            .par_iter()
+            .flat_map_iter(|chunk| {
+                chunk
+                    .iter()
+                    .map(|&i| self.force_on_body(&tree, i, None))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        self.apply_forces(&results);
+        let all: Vec<u32> = (0..self.bodies.len() as u32).collect();
+        self.integrate_bodies(&all);
+    }
+
+    /// One traced iteration over `num_procs` virtual processors: performs the same
+    /// computation as [`BarnesHut::step_parallel`] and records the body-array accesses
+    /// of each virtual processor into `builder` (three intervals: tree build, force
+    /// evaluation, update).
+    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
+        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+        // Interval 1: sequential tree build — processor 0 reads every body.
+        let tree = self.build_tree();
+        for i in 0..self.bodies.len() {
+            builder.read(0, i);
+        }
+        builder.barrier();
+
+        // Interval 2: force evaluation.
+        let parts = self.partition(&tree, num_procs);
+        let mut all_results = Vec::with_capacity(self.bodies.len());
+        for (proc, chunk) in parts.iter().enumerate() {
+            let mut reads = Vec::new();
+            for &i in chunk {
+                reads.clear();
+                let r = self.force_on_body(&tree, i, Some(&mut reads));
+                builder.read(proc, i as usize);
+                for &j in &reads {
+                    builder.read(proc, j as usize);
+                }
+                builder.write(proc, i as usize);
+                all_results.push(r);
+            }
+        }
+        builder.barrier();
+        self.apply_forces(&all_results);
+
+        // Interval 3: update — each processor advances its own bodies.
+        for (proc, chunk) in parts.iter().enumerate() {
+            for &i in chunk {
+                builder.write(proc, i as usize);
+            }
+            self.integrate_bodies(chunk);
+        }
+        builder.barrier();
+    }
+
+    /// Run `iterations` traced iterations on `num_procs` virtual processors and return
+    /// the finished trace.
+    pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
+        let mut builder = TraceBuilder::new(self.layout(), num_procs);
+        for _ in 0..iterations {
+            self.step_traced(num_procs, &mut builder);
+        }
+        builder.finish()
+    }
+
+    /// Total energy (kinetic + potential) of the system; a physics sanity check used by
+    /// the test-suite.  Potential energy uses the pairwise direct sum, so only call this
+    /// on small systems.
+    pub fn total_energy_direct(&self) -> f64 {
+        let kinetic: f64 = self
+            .bodies
+            .iter()
+            .map(|b| 0.5 * b.mass * b.vel.norm_sq())
+            .sum();
+        let mut potential = 0.0;
+        let eps2 = self.params.eps * self.params.eps;
+        for i in 0..self.bodies.len() {
+            for j in (i + 1)..self.bodies.len() {
+                let d2 = self.bodies[i].pos.dist_sq(self.bodies[j].pos) + eps2;
+                potential -= self.bodies[i].mass * self.bodies[j].mass / d2.sqrt();
+            }
+        }
+        kinetic + potential
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sim(n: usize, seed: u64, theta: f64) -> BarnesHut {
+        BarnesHut::two_plummer(
+            n,
+            seed,
+            BarnesHutParams { theta, dt: 0.01, eps: 0.05, leaf_capacity: 8 },
+        )
+    }
+
+    #[test]
+    fn theta_zero_matches_direct_summation() {
+        let sim = small_sim(64, 1, 0.0);
+        let tree = sim.build_tree();
+        // Direct sum for body 0.
+        let eps2 = sim.params.eps * sim.params.eps;
+        let p0 = sim.bodies[0].pos;
+        let mut acc = Vec3::ZERO;
+        for j in 1..sim.bodies.len() {
+            let d = sim.bodies[j].pos - p0;
+            let r2 = d.norm_sq() + eps2;
+            acc += d * (sim.bodies[j].mass / (r2 * r2.sqrt()));
+        }
+        let r = sim.force_on_body(&tree, 0, None);
+        assert!((r.acc - acc).norm() < 1e-9 * acc.norm().max(1.0));
+    }
+
+    #[test]
+    fn approximation_error_is_small_for_moderate_theta() {
+        let exact = small_sim(256, 2, 0.0);
+        let approx = small_sim(256, 2, 0.7);
+        let tree_e = exact.build_tree();
+        let tree_a = approx.build_tree();
+        let mut rel_err_sum = 0.0;
+        for i in 0..64u32 {
+            let fe = exact.force_on_body(&tree_e, i, None).acc;
+            let fa = approx.force_on_body(&tree_a, i, None).acc;
+            rel_err_sum += (fe - fa).norm() / fe.norm().max(1e-12);
+        }
+        let mean_rel_err = rel_err_sum / 64.0;
+        assert!(mean_rel_err < 0.05, "mean relative force error {mean_rel_err}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_steps_agree() {
+        let mut a = small_sim(200, 3, 0.6);
+        let mut b = a.clone();
+        a.step_sequential();
+        b.step_parallel(4);
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert!(x.pos.dist(y.pos) < 1e-12);
+            assert!((x.phi - y.phi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traced_step_produces_three_intervals_per_iteration() {
+        let mut sim = small_sim(128, 4, 0.6);
+        let trace = sim.trace_iterations(2, 4);
+        assert_eq!(trace.num_procs, 4);
+        assert_eq!(trace.intervals.len(), 6);
+        // Interval 0 is the sequential tree build: only processor 0 is active.
+        assert!(trace.intervals[0].accesses[0].len() >= 128);
+        for p in 1..4 {
+            assert!(trace.intervals[0].accesses[p].is_empty());
+        }
+        // Force evaluation writes every body exactly once per iteration.
+        let writes: usize = trace.intervals[1]
+            .accesses
+            .iter()
+            .map(|s| s.iter().filter(|a| a.is_write()).count())
+            .sum();
+        assert_eq!(writes, 128);
+    }
+
+    #[test]
+    fn traced_step_matches_untraced_physics() {
+        let mut a = small_sim(150, 5, 0.6);
+        let mut b = a.clone();
+        a.step_sequential();
+        let mut builder = TraceBuilder::new(b.layout(), 4);
+        b.step_traced(4, &mut builder);
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert!(x.pos.dist(y.pos) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_balances_cost_and_covers_all_bodies() {
+        let sim = small_sim(500, 6, 0.6);
+        let tree = sim.build_tree();
+        let parts = sim.partition(&tree, 8);
+        assert_eq!(parts.len(), 8);
+        let mut all: Vec<u32> = parts.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..500u32).collect::<Vec<_>>());
+        let sizes: Vec<usize> = parts.iter().map(Vec::len).collect();
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max <= min * 3 + 8, "partition is too unbalanced: {sizes:?}");
+    }
+
+    #[test]
+    fn hilbert_reordering_preserves_the_body_multiset_and_physics() {
+        let mut original = small_sim(200, 7, 0.6);
+        let mut reordered = original.clone();
+        reordered.reorder(Method::Hilbert);
+        // Same multiset of bodies.
+        let mut a: Vec<_> = original.bodies.iter().map(|b| format!("{:?}", b.pos)).collect();
+        let mut b: Vec<_> = reordered.bodies.iter().map(|b| format!("{:?}", b.pos)).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b);
+        // Physics is identical (order of bodies does not matter).
+        original.step_sequential();
+        reordered.step_sequential();
+        let e1 = original.total_energy_direct();
+        let e2 = reordered.total_energy_direct();
+        assert!((e1 - e2).abs() < 1e-9 * e1.abs().max(1.0));
+    }
+
+    #[test]
+    fn energy_is_approximately_conserved_over_a_few_steps() {
+        let mut sim = small_sim(100, 8, 0.3);
+        let e0 = sim.total_energy_direct();
+        for _ in 0..5 {
+            sim.step_sequential();
+        }
+        let e1 = sim.total_energy_direct();
+        let drift = ((e1 - e0) / e0).abs();
+        assert!(drift < 0.15, "energy drift {drift} too large");
+    }
+
+    #[test]
+    fn cost_counters_are_updated_for_load_balancing() {
+        let mut sim = small_sim(300, 9, 0.6);
+        sim.step_sequential();
+        assert!(sim.bodies.iter().any(|b| b.cost > 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! The particle ("body") record shared by Barnes-Hut and FMM.
+//!
+//! The SPLASH-2 body record is roughly 96–104 bytes (type tag, mass, position, velocity,
+//! acceleration, potential, cost counter); Table 1 of the paper lists 104 bytes for
+//! Barnes-Hut and FMM, and the Figure 2 example uses 96-byte records.  The Rust struct
+//! below carries the same fields; for the address-space analyses the *paper's* object
+//! size is used (so page counts match the figures), while the in-memory Rust size is
+//! what the real parallel runs exercise.
+
+use crate::vec3::Vec3;
+
+/// The object size (bytes) used for Barnes-Hut/FMM address-space analyses, matching the
+/// Figure 1/2 examples ("a page contains 42 96-byte particles").
+pub const BODY_BYTES_FIG: usize = 96;
+
+/// The object size (bytes) listed in Table 1 for Barnes-Hut and FMM.
+pub const BODY_BYTES_TABLE1: usize = 104;
+
+/// One particle of the N-body simulations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Body {
+    /// Position.
+    pub pos: Vec3,
+    /// Velocity.
+    pub vel: Vec3,
+    /// Acceleration accumulated during the current force-evaluation phase.
+    pub acc: Vec3,
+    /// Gravitational potential at the particle (diagnostic).
+    pub phi: f64,
+    /// Particle mass.
+    pub mass: f64,
+    /// Work counter from the previous iteration (number of interactions computed for
+    /// this particle); used by the costzones partitioner, exactly as in SPLASH-2.
+    pub cost: u32,
+}
+
+impl Body {
+    /// Create a body at rest at `pos` with mass `mass`.
+    pub fn at_rest(pos: [f64; 3], mass: f64) -> Self {
+        Body {
+            pos: Vec3::from_array(pos),
+            vel: Vec3::ZERO,
+            acc: Vec3::ZERO,
+            phi: 0.0,
+            mass,
+            cost: 1,
+        }
+    }
+
+    /// Build a body array from parallel position/mass vectors (the output of the
+    /// `workloads` generators).
+    pub fn from_positions(positions: &[[f64; 3]], masses: &[f64]) -> Vec<Body> {
+        assert_eq!(positions.len(), masses.len(), "positions and masses must align");
+        positions
+            .iter()
+            .zip(masses)
+            .map(|(&p, &m)| Body::at_rest(p, m))
+            .collect()
+    }
+
+    /// Coordinate accessor in the form the reordering library expects.
+    pub fn coord(&self, dim: usize) -> f64 {
+        self.pos.component(dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bodies_start_at_rest_with_unit_cost() {
+        let b = Body::at_rest([1.0, 2.0, 3.0], 0.5);
+        assert_eq!(b.pos, Vec3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.vel, Vec3::ZERO);
+        assert_eq!(b.acc, Vec3::ZERO);
+        assert_eq!(b.mass, 0.5);
+        assert_eq!(b.cost, 1);
+        assert_eq!(b.coord(1), 2.0);
+    }
+
+    #[test]
+    fn from_positions_zips_masses() {
+        let pos = vec![[0.0, 0.0, 0.0], [1.0, 1.0, 1.0]];
+        let mass = vec![1.0, 2.0];
+        let bodies = Body::from_positions(&pos, &mass);
+        assert_eq!(bodies.len(), 2);
+        assert_eq!(bodies[1].mass, 2.0);
+        assert_eq!(bodies[1].pos, Vec3::new(1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn rust_body_is_in_the_same_size_class_as_the_c_record() {
+        // Not an exact match (Rust layout differs from the 1995 C struct), but the
+        // record must stay fine-grained: several bodies per cache line/page, as the
+        // paper's analysis assumes.
+        let size = std::mem::size_of::<Body>();
+        assert!(size >= 96 && size <= 136, "Body is {size} bytes");
+    }
+
+    #[test]
+    #[should_panic(expected = "must align")]
+    fn mismatched_lengths_panic() {
+        Body::from_positions(&[[0.0; 3]], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,419 @@
+//! Complex arithmetic and the multipole / local expansion operators of the 2-D FMM.
+//!
+//! The two-dimensional Fast Multipole Method (Greengard & Rokhlin 1987) represents the
+//! potential of a cluster of sources as a truncated Laurent series ("multipole
+//! expansion") about the cluster centre and, for well-separated evaluation regions, as a
+//! truncated Taylor series ("local expansion").  All four translation operators used by
+//! the algorithm are implemented here:
+//!
+//! * **P2M** — particles to multipole (Theorem 2.1);
+//! * **M2M** — shift a child's multipole expansion to its parent's centre (Lemma 2.3);
+//! * **M2L** — convert a well-separated cell's multipole expansion into a local
+//!   expansion (Lemma 2.4);
+//! * **L2L** — shift a local expansion to a child's centre (Lemma 2.5);
+//! * **L2P / M2P** — evaluate a local (or multipole) expansion and its derivative at a
+//!   particle position.
+//!
+//! Positions are complex numbers `x + i y`; the acceleration on a unit mass at `z` is
+//! `-conj(φ'(z))` where `φ(z) = Σ q_j log(z - z_j)`.
+
+/// A complex number (kept local to avoid an external dependency for 30 lines of math).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// 0 + 0i.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// 1 + 0i.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Construct from real and imaginary parts.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Principal branch of the complex logarithm.
+    pub fn ln(self) -> Complex {
+        Complex::new(self.abs().ln(), self.im.atan2(self.re))
+    }
+
+    /// Multiplicative inverse.
+    pub fn recip(self) -> Complex {
+        let d = self.norm_sq();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Integer power (non-negative exponent).
+    pub fn powi(self, n: u32) -> Complex {
+        let mut result = Complex::ONE;
+        let mut base = self;
+        let mut n = n;
+        while n > 0 {
+            if n & 1 == 1 {
+                result = result * base;
+            }
+            base = base * base;
+            n >>= 1;
+        }
+        result
+    }
+}
+
+impl std::ops::Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+impl std::ops::AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+impl std::ops::Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+impl std::ops::Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+impl std::ops::Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(self.re * o.re - self.im * o.im, self.re * o.im + self.im * o.re)
+    }
+}
+impl std::ops::Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+impl std::ops::Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        self * o.recip()
+    }
+}
+impl std::ops::Div<f64> for Complex {
+    type Output = Complex;
+    fn div(self, s: f64) -> Complex {
+        Complex::new(self.re / s, self.im / s)
+    }
+}
+
+/// Binomial coefficient C(n, k) as an `f64` (n, k are small: ≤ 2 × expansion order).
+pub fn binomial(n: u32, k: u32) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut c = 1.0f64;
+    for i in 0..k {
+        c = c * f64::from(n - i) / f64::from(i + 1);
+    }
+    c
+}
+
+/// A truncated multipole expansion about `center`: `coeffs[0]` is the total charge `Q`,
+/// `coeffs[k]` (k ≥ 1) the Laurent coefficients `a_k`.
+#[derive(Debug, Clone)]
+pub struct Multipole {
+    /// Expansion centre.
+    pub center: Complex,
+    /// Coefficients `a_0 .. a_p`.
+    pub coeffs: Vec<Complex>,
+}
+
+/// A truncated local (Taylor) expansion about `center` with coefficients `b_0 .. b_p`.
+#[derive(Debug, Clone)]
+pub struct Local {
+    /// Expansion centre.
+    pub center: Complex,
+    /// Coefficients `b_0 .. b_p`.
+    pub coeffs: Vec<Complex>,
+}
+
+impl Multipole {
+    /// An empty expansion of order `p` about `center`.
+    pub fn zero(center: Complex, p: usize) -> Self {
+        Multipole { center, coeffs: vec![Complex::ZERO; p + 1] }
+    }
+
+    /// P2M: accumulate the contribution of a source of strength `q` at position `z`.
+    pub fn add_particle(&mut self, z: Complex, q: f64) {
+        let dz = z - self.center;
+        self.coeffs[0] += Complex::new(q, 0.0);
+        let mut dz_k = Complex::ONE;
+        for k in 1..self.coeffs.len() {
+            dz_k = dz_k * dz;
+            self.coeffs[k] += -(dz_k * (q / k as f64));
+        }
+    }
+
+    /// M2M: translate this expansion to a new centre (typically the parent cell's) and
+    /// add it into `parent`.
+    pub fn translate_into(&self, parent: &mut Multipole) {
+        let d = self.center - parent.center;
+        let p = parent.coeffs.len() - 1;
+        parent.coeffs[0] += self.coeffs[0];
+        for l in 1..=p {
+            // -Q d^l / l term plus the binomial-weighted shifted coefficients.
+            let b_l = -(d.powi(l as u32) * (1.0 / l as f64)) * self.coeffs[0];
+            let mut sum = Complex::ZERO;
+            for k in 1..=l.min(self.coeffs.len() - 1) {
+                sum += self.coeffs[k] * d.powi((l - k) as u32) * binomial((l - 1) as u32, (k - 1) as u32);
+            }
+            parent.coeffs[l] += b_l + sum;
+        }
+    }
+
+    /// M2L: convert this multipole expansion into a local expansion about
+    /// `local.center` and add it in.  Requires the two centres to be well separated
+    /// (guaranteed by the interaction-list construction).
+    pub fn to_local_into(&self, local: &mut Local) {
+        let z0 = self.center - local.center;
+        let p = local.coeffs.len() - 1;
+        // b_0 = Q ln(-z0) + Σ_k a_k (-1)^k / z0^k
+        let mut b0 = self.coeffs[0] * (-z0).ln();
+        let mut z0_k = Complex::ONE;
+        for k in 1..self.coeffs.len() {
+            z0_k = z0_k * z0;
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            b0 += self.coeffs[k] * sign / z0_k;
+        }
+        local.coeffs[0] += b0;
+        // b_l = -Q / (l z0^l) + (1/z0^l) Σ_k a_k (-1)^k C(l+k-1, k-1) / z0^k
+        let mut z0_l = Complex::ONE;
+        for l in 1..=p {
+            z0_l = z0_l * z0;
+            let mut bl = -(self.coeffs[0] / (z0_l * (l as f64)));
+            let mut z0_k = Complex::ONE;
+            let mut sum = Complex::ZERO;
+            for k in 1..self.coeffs.len() {
+                z0_k = z0_k * z0;
+                let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+                sum += self.coeffs[k] * (sign * binomial((l + k - 1) as u32, (k - 1) as u32)) / z0_k;
+            }
+            bl += sum / z0_l;
+            local.coeffs[l] += bl;
+        }
+    }
+
+    /// M2P: evaluate the expansion's potential and complex derivative at `z` (used for
+    /// cells that are well separated from a *particle* but whose parent was not — the
+    /// adaptive FMM's W/X lists; also handy for tests).
+    pub fn evaluate(&self, z: Complex) -> (Complex, Complex) {
+        let dz = z - self.center;
+        let mut phi = self.coeffs[0] * dz.ln();
+        let mut dphi = self.coeffs[0] / dz;
+        let mut dz_k = Complex::ONE;
+        for k in 1..self.coeffs.len() {
+            dz_k = dz_k * dz;
+            phi += self.coeffs[k] / dz_k;
+            dphi += -(self.coeffs[k] * (k as f64)) / (dz_k * dz);
+        }
+        (phi, dphi)
+    }
+}
+
+impl Local {
+    /// An empty local expansion of order `p` about `center`.
+    pub fn zero(center: Complex, p: usize) -> Self {
+        Local { center, coeffs: vec![Complex::ZERO; p + 1] }
+    }
+
+    /// L2L: shift this expansion to a child centre and add it into `child`.
+    pub fn translate_into(&self, child: &mut Local) {
+        let d = child.center - self.center;
+        let p = self.coeffs.len() - 1;
+        for l in 0..=p {
+            let mut sum = Complex::ZERO;
+            for k in l..=p {
+                sum += self.coeffs[k] * binomial(k as u32, l as u32) * d.powi((k - l) as u32);
+            }
+            child.coeffs[l] += sum;
+        }
+    }
+
+    /// L2P: evaluate the expansion's potential and complex derivative at `z`.
+    pub fn evaluate(&self, z: Complex) -> (Complex, Complex) {
+        let dz = z - self.center;
+        let mut phi = Complex::ZERO;
+        let mut dphi = Complex::ZERO;
+        // Horner evaluation of Σ b_l dz^l and its derivative.
+        for l in (1..self.coeffs.len()).rev() {
+            phi = (phi + self.coeffs[l]) * dz;
+            dphi = dphi * dz + self.coeffs[l] * (l as f64);
+        }
+        phi += self.coeffs[0];
+        (phi, dphi)
+    }
+}
+
+/// Direct (particle-particle) potential and derivative of a unit-strength source at
+/// `src` evaluated at `z`: `(log(z - src), 1 / (z - src))`.
+pub fn direct_kernel(z: Complex, src: Complex) -> (Complex, Complex) {
+    let dz = z - src;
+    (dz.ln(), dz.recip())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources() -> Vec<(Complex, f64)> {
+        // A cluster of sources inside the unit disk around (10, 10).
+        let center = Complex::new(10.0, 10.0);
+        (0..20)
+            .map(|i| {
+                let angle = i as f64 * 0.77;
+                let r = 0.4 + 0.02 * i as f64;
+                (center + Complex::new(r * angle.cos(), r * angle.sin()), 0.3 + 0.05 * i as f64)
+            })
+            .collect()
+    }
+
+    fn direct_potential(z: Complex, srcs: &[(Complex, f64)]) -> (Complex, Complex) {
+        let mut phi = Complex::ZERO;
+        let mut dphi = Complex::ZERO;
+        for &(s, q) in srcs {
+            let (p, d) = direct_kernel(z, s);
+            phi += p * q;
+            dphi += d * q;
+        }
+        (phi, dphi)
+    }
+
+    #[test]
+    fn complex_arithmetic_identities() {
+        let a = Complex::new(3.0, -2.0);
+        let b = Complex::new(-1.0, 0.5);
+        assert!(((a * b) / b - a).abs() < 1e-12);
+        assert!((a * a.recip() - Complex::ONE).abs() < 1e-12);
+        assert!((a.powi(3) - a * a * a).abs() < 1e-12);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 0), 1.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn multipole_matches_direct_summation_far_away() {
+        let srcs = sources();
+        let center = Complex::new(10.0, 10.0);
+        let mut m = Multipole::zero(center, 12);
+        for &(z, q) in &srcs {
+            m.add_particle(z, q);
+        }
+        for &target in &[Complex::new(0.0, 0.0), Complex::new(20.0, 3.0), Complex::new(10.0, -5.0)] {
+            let (pm, dm) = m.evaluate(target);
+            let (pd, dd) = direct_potential(target, &srcs);
+            assert!((pm - pd).abs() < 1e-8, "potential mismatch at {target:?}");
+            assert!((dm - dd).abs() < 1e-8, "derivative mismatch at {target:?}");
+        }
+    }
+
+    #[test]
+    fn m2m_preserves_the_far_field() {
+        let srcs = sources();
+        let child_center = Complex::new(10.0, 10.0);
+        let parent_center = Complex::new(11.0, 9.0);
+        let mut child = Multipole::zero(child_center, 14);
+        for &(z, q) in &srcs {
+            child.add_particle(z, q);
+        }
+        let mut parent = Multipole::zero(parent_center, 14);
+        child.translate_into(&mut parent);
+        let target = Complex::new(-15.0, 2.0);
+        let (pc, dc) = child.evaluate(target);
+        let (pp, dp) = parent.evaluate(target);
+        assert!((pc - pp).abs() < 1e-7);
+        assert!((dc - dp).abs() < 1e-7);
+    }
+
+    #[test]
+    fn m2l_and_l2p_reproduce_the_field_in_a_well_separated_box() {
+        let srcs = sources();
+        let m_center = Complex::new(10.0, 10.0);
+        let l_center = Complex::new(0.0, 0.0);
+        let mut m = Multipole::zero(m_center, 16);
+        for &(z, q) in &srcs {
+            m.add_particle(z, q);
+        }
+        let mut local = Local::zero(l_center, 16);
+        m.to_local_into(&mut local);
+        for &target in &[Complex::new(0.3, -0.4), Complex::new(-0.5, 0.2), Complex::new(0.0, 0.6)] {
+            let (pl, dl) = local.evaluate(target);
+            let (pd, dd) = direct_potential(target, &srcs);
+            assert!((pl - pd).abs() < 1e-6, "potential mismatch at {target:?}: {pl:?} vs {pd:?}");
+            assert!((dl - dd).abs() < 1e-6, "derivative mismatch at {target:?}");
+        }
+    }
+
+    #[test]
+    fn l2l_shift_is_exact_for_polynomials() {
+        let srcs = sources();
+        let m_center = Complex::new(10.0, 10.0);
+        let mut m = Multipole::zero(m_center, 14);
+        for &(z, q) in &srcs {
+            m.add_particle(z, q);
+        }
+        let mut parent_local = Local::zero(Complex::new(0.0, 0.0), 14);
+        m.to_local_into(&mut parent_local);
+        let mut child_local = Local::zero(Complex::new(0.5, -0.25), 14);
+        parent_local.translate_into(&mut child_local);
+        let target = Complex::new(0.55, -0.2);
+        let (pp, dp) = parent_local.evaluate(target);
+        let (pc, dc) = child_local.evaluate(target);
+        // The L2L shift of a truncated polynomial is exact (no truncation error).
+        assert!((pp - pc).abs() < 1e-10);
+        assert!((dp - dc).abs() < 1e-10);
+    }
+
+    #[test]
+    fn truncation_error_decreases_with_order() {
+        let srcs = sources();
+        let center = Complex::new(10.0, 10.0);
+        let target = Complex::new(8.0, 6.0); // moderately separated: truncation visible
+        let err_at = |p: usize| {
+            let mut m = Multipole::zero(center, p);
+            for &(z, q) in &srcs {
+                m.add_particle(z, q);
+            }
+            let (pm, _) = m.evaluate(target);
+            let (pd, _) = direct_potential(target, &srcs);
+            (pm - pd).abs()
+        };
+        let e2 = err_at(2);
+        let e6 = err_at(6);
+        let e12 = err_at(12);
+        assert!(e6 < e2);
+        assert!(e12 < e6);
+    }
+}

@@ -1,0 +1,604 @@
+//! The adaptive Fast Multipole Method benchmark (2-D), ported from SPLASH-2.
+//!
+//! FMM shares its data structures with Barnes-Hut — a shared particle array plus a tree
+//! of cells — but traverses the tree only twice per iteration (one upward pass, one
+//! downward pass) instead of once per particle.  The particle array is only touched in
+//! three places, all of which this port reproduces:
+//!
+//! * **P2M** — forming a leaf cell's multipole expansion reads the leaf's particles;
+//! * **P2P** — near-field interactions read the particles of neighbouring leaves and
+//!   write the processor's own particles;
+//! * **L2P** — evaluating a leaf's local expansion writes the leaf's particles.
+//!
+//! The cells are created per processor (private arrays), so the false sharing the paper
+//! measures is concentrated in the particle array — which is what Hilbert reordering
+//! fixes (Section 5.3.1, Table 4).
+//!
+//! The per-phase structure (build tree, build lists, partition, tree traversal,
+//! inter-particle, intra-particle) matches Table 4 of the paper; [`FmmPhaseBreakdown`]
+//! records wall-clock time per phase and the traced execution emits one synchronization
+//! interval per phase so the DSM simulators can attribute communication to phases.
+
+pub mod expansion;
+pub mod quadtree;
+
+use std::time::Instant;
+
+use rayon::prelude::*;
+use reorder::{reorder_by_method, Method, Reordering};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+
+use crate::body::{Body, BODY_BYTES_FIG};
+use crate::vec3::Vec3;
+use expansion::{Complex, Local, Multipole};
+use quadtree::{CellId, QuadTree};
+
+/// Tunable parameters of the FMM simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct FmmParams {
+    /// Expansion order (number of multipole / local coefficients beyond the charge).
+    pub order: usize,
+    /// Average number of bodies per leaf cell the tree depth is chosen for.
+    pub target_per_leaf: usize,
+    /// Time step of the integrator.
+    pub dt: f64,
+    /// Softening length for near-field interactions.
+    pub eps: f64,
+}
+
+impl Default for FmmParams {
+    fn default() -> Self {
+        FmmParams { order: 8, target_per_leaf: 16, dt: 0.025, eps: 0.05 }
+    }
+}
+
+/// Wall-clock seconds spent in each phase of one FMM iteration, named after the rows of
+/// Table 4 in the paper.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FmmPhaseBreakdown {
+    /// Sequential tree build (assigning particles to leaf cells).
+    pub build_tree: f64,
+    /// Interaction-list construction.
+    pub build_list: f64,
+    /// Partitioning leaf cells over processors.
+    pub partition: f64,
+    /// Upward pass (P2M, M2M), M2L translations and downward pass (L2L).
+    pub tree_traversal: f64,
+    /// Near-field particle-particle interactions between different leaves.
+    pub inter_particle: f64,
+    /// Particle-particle interactions within a leaf plus local-expansion evaluation.
+    pub intra_particle: f64,
+    /// Everything else (position update).
+    pub other: f64,
+}
+
+impl FmmPhaseBreakdown {
+    /// Total time over all phases.
+    pub fn total(&self) -> f64 {
+        self.build_tree
+            + self.build_list
+            + self.partition
+            + self.tree_traversal
+            + self.inter_particle
+            + self.intra_particle
+            + self.other
+    }
+
+    /// `(name, seconds)` pairs in Table 4 row order.
+    pub fn rows(&self) -> [(&'static str, f64); 7] {
+        [
+            ("Build tree", self.build_tree),
+            ("Build List", self.build_list),
+            ("Partition", self.partition),
+            ("Tree traversal", self.tree_traversal),
+            ("Inter particle", self.inter_particle),
+            ("Intra particle", self.intra_particle),
+            ("Other", self.other),
+        ]
+    }
+}
+
+/// The FMM application state.
+#[derive(Debug, Clone)]
+pub struct Fmm {
+    /// The shared particle array (the object array that data reordering permutes).
+    pub bodies: Vec<Body>,
+    /// Simulation parameters.
+    pub params: FmmParams,
+}
+
+/// Per-leaf ownership and the per-processor leaf lists produced by the partitioner.
+#[derive(Debug, Clone)]
+struct FmmPartition {
+    /// `leaves[p]` — leaf cells owned by processor `p`, in row-major cell order.
+    leaves: Vec<Vec<CellId>>,
+    /// `owner[c]` — processor owning leaf `c`.
+    owner: Vec<usize>,
+}
+
+impl Fmm {
+    /// Create an FMM run from an existing body array (only the x and y coordinates are
+    /// used; the paper's FMM is two-dimensional).
+    ///
+    /// # Panics
+    /// Panics if `bodies` is empty or the expansion order is zero.
+    pub fn new(bodies: Vec<Body>, params: FmmParams) -> Self {
+        assert!(!bodies.is_empty(), "need at least one body");
+        assert!(params.order >= 1, "expansion order must be at least 1");
+        Fmm { bodies, params }
+    }
+
+    /// The paper's input: `n` bodies from a two-dimensional two-Plummer distribution,
+    /// stored in random order.
+    pub fn two_plummer(n: usize, seed: u64, params: FmmParams) -> Self {
+        let (pos, mass) = workloads::two_plummer(n, 2, 1.0, 6.0, seed);
+        Fmm::new(Body::from_positions(&pos, &mass), params)
+    }
+
+    /// Number of bodies.
+    pub fn num_bodies(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Object-array layout for address-space analyses (96-byte records as in Figures
+    /// 1–5; Table 1 lists 104 bytes — the difference does not change any conclusion).
+    pub fn layout(&self) -> ObjectLayout {
+        ObjectLayout::new(self.bodies.len(), BODY_BYTES_FIG)
+    }
+
+    /// Apply a data reordering to the particle array.  FMM rebuilds its tree and lists
+    /// every iteration, so no auxiliary indices need remapping.
+    pub fn reorder(&mut self, method: Method) -> Reordering {
+        reorder_by_method(method, &mut self.bodies, 2, |b, d| b.coord(d))
+    }
+
+    fn positions(&self) -> Vec<[f64; 3]> {
+        self.bodies.iter().map(|b| b.pos.to_array()).collect()
+    }
+
+    fn build_tree(&self) -> QuadTree {
+        let levels = QuadTree::levels_for(self.bodies.len(), self.params.target_per_leaf);
+        QuadTree::build(&self.positions(), levels)
+    }
+
+    /// Partition leaf cells over processors: walk the leaf cells in row-major order and
+    /// cut into `num_procs` contiguous chunks of roughly equal body count (the SPLASH-2
+    /// code uses costzones over the adaptive tree; on a uniform tree row-major chunks of
+    /// equal weight are the analogous physically-contiguous assignment).
+    fn partition(&self, tree: &QuadTree, num_procs: usize) -> FmmPartition {
+        let num_leaves = tree.leaf_bodies.len();
+        let total: usize = tree.leaf_bodies.iter().map(Vec::len).sum();
+        let target = (total as f64 / num_procs as f64).max(1.0);
+        let mut leaves = vec![Vec::new(); num_procs];
+        let mut owner = vec![0usize; num_leaves];
+        let mut acc = 0.0;
+        let mut proc = 0usize;
+        for c in 0..num_leaves {
+            if acc >= target * (proc + 1) as f64 && proc + 1 < num_procs {
+                proc += 1;
+            }
+            leaves[proc].push(c as CellId);
+            owner[c] = proc;
+            acc += tree.leaf_bodies[c].len() as f64;
+        }
+        FmmPartition { leaves, owner }
+    }
+
+    /// Complete force computation for one iteration.  Returns per-body `(acc, phi)` and
+    /// optionally records, for every body, the indices of the *other* bodies read during
+    /// near-field interactions (`reads[i]`).
+    fn compute_forces(
+        &self,
+        tree: &QuadTree,
+        record_reads: bool,
+    ) -> (Vec<(Vec3, f64)>, Vec<Vec<u32>>, FmmPhaseBreakdown) {
+        let mut breakdown = FmmPhaseBreakdown::default();
+        let p = self.params.order;
+        let leaf_level = tree.leaf_level();
+        let num_leaves = tree.leaf_bodies.len();
+
+        // --- Build interaction lists (cells only; no particle access).
+        let t0 = Instant::now();
+        let interaction_lists: Vec<Vec<CellId>> = (0..num_leaves)
+            .map(|c| QuadTree::interaction_list(leaf_level, c as CellId))
+            .collect();
+        let neighbor_lists: Vec<Vec<CellId>> =
+            (0..num_leaves).map(|c| QuadTree::neighbors(leaf_level, c as CellId)).collect();
+        breakdown.build_list = t0.elapsed().as_secs_f64();
+
+        // --- Upward pass: P2M at the leaves, M2M up the tree.
+        let t0 = Instant::now();
+        let mut multipoles: Vec<Vec<Multipole>> = (0..tree.levels)
+            .map(|level| {
+                (0..QuadTree::cells_at(level))
+                    .map(|c| Multipole::zero(tree.cell_center(level, c as CellId), p))
+                    .collect()
+            })
+            .collect();
+        for c in 0..num_leaves {
+            for &b in &tree.leaf_bodies[c] {
+                let body = &self.bodies[b as usize];
+                multipoles[leaf_level][c]
+                    .add_particle(Complex::new(body.pos.x, body.pos.y), body.mass);
+            }
+        }
+        for level in (1..tree.levels).rev() {
+            for c in 0..QuadTree::cells_at(level) {
+                let parent = QuadTree::parent(level, c as CellId) as usize;
+                let (upper, lower) = multipoles.split_at_mut(level);
+                lower[0][c].translate_into(&mut upper[level - 1][parent]);
+            }
+        }
+
+        // --- M2L at every level, then L2L downward.
+        let mut locals: Vec<Vec<Local>> = (0..tree.levels)
+            .map(|level| {
+                (0..QuadTree::cells_at(level))
+                    .map(|c| Local::zero(tree.cell_center(level, c as CellId), p))
+                    .collect()
+            })
+            .collect();
+        for level in 1..tree.levels {
+            for c in 0..QuadTree::cells_at(level) {
+                for w in QuadTree::interaction_list(level, c as CellId) {
+                    let m = &multipoles[level][w as usize];
+                    m.to_local_into(&mut locals[level][c]);
+                }
+            }
+            // Push this level's accumulated local expansions down to the children.
+            if level + 1 < tree.levels {
+                for c in 0..QuadTree::cells_at(level) {
+                    let (this, below) = locals.split_at_mut(level + 1);
+                    for child in QuadTree::children(level, c as CellId) {
+                        this[level][c].translate_into(&mut below[0][child as usize]);
+                    }
+                }
+            }
+        }
+        breakdown.tree_traversal = t0.elapsed().as_secs_f64();
+
+        // --- Evaluation: L2P plus near-field P2P.
+        let t0 = Instant::now();
+        let eps2 = self.params.eps * self.params.eps;
+        let mut results = vec![(Vec3::ZERO, 0.0); self.bodies.len()];
+        let mut reads: Vec<Vec<u32>> =
+            if record_reads { vec![Vec::new(); self.bodies.len()] } else { Vec::new() };
+        let mut inter_time = 0.0;
+        let mut intra_time = 0.0;
+        for c in 0..num_leaves {
+            let t_leaf = Instant::now();
+            let local = &locals[leaf_level][c];
+            // Far field via the local expansion, near field via direct interactions.
+            for &bi in &tree.leaf_bodies[c] {
+                let body = &self.bodies[bi as usize];
+                let z = Complex::new(body.pos.x, body.pos.y);
+                let (phi, dphi) = local.evaluate(z);
+                // Acceleration on a unit mass is -conj(phi'(z)).
+                let mut acc = Complex::new(-dphi.re, dphi.im);
+                let mut pot = phi.re;
+                // Intra-leaf direct interactions.
+                for &bj in &tree.leaf_bodies[c] {
+                    if bi == bj {
+                        continue;
+                    }
+                    let other = &self.bodies[bj as usize];
+                    if record_reads {
+                        reads[bi as usize].push(bj);
+                    }
+                    let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
+                    let r2 = dz.norm_sq() + eps2;
+                    acc += dz * (other.mass / r2);
+                    pot += 0.5 * other.mass * r2.ln();
+                }
+                results[bi as usize] = (Vec3::new(acc.re, acc.im, 0.0), pot);
+            }
+            intra_time += t_leaf.elapsed().as_secs_f64();
+
+            // Inter-leaf (neighbouring cells) direct interactions.
+            let t_inter = Instant::now();
+            for &n in &neighbor_lists[c] {
+                for &bi in &tree.leaf_bodies[c] {
+                    let body = &self.bodies[bi as usize];
+                    let mut acc = Complex::ZERO;
+                    let mut pot = 0.0;
+                    for &bj in &tree.leaf_bodies[n as usize] {
+                        let other = &self.bodies[bj as usize];
+                        if record_reads {
+                            reads[bi as usize].push(bj);
+                        }
+                        let dz =
+                            Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
+                        let r2 = dz.norm_sq() + eps2;
+                        acc += dz * (other.mass / r2);
+                        pot += 0.5 * other.mass * r2.ln();
+                    }
+                    results[bi as usize].0 += Vec3::new(acc.re, acc.im, 0.0);
+                    results[bi as usize].1 += pot;
+                }
+            }
+            inter_time += t_inter.elapsed().as_secs_f64();
+            let _ = &interaction_lists; // lists are consumed during the M2L pass above
+        }
+        breakdown.inter_particle = inter_time;
+        breakdown.intra_particle = intra_time;
+        let _ = t0;
+        (results, reads, breakdown)
+    }
+
+    /// One sequential iteration; returns the per-phase wall-clock breakdown.
+    pub fn step_sequential(&mut self) -> FmmPhaseBreakdown {
+        let t0 = Instant::now();
+        let tree = self.build_tree();
+        let mut breakdown;
+        let build_tree_time = t0.elapsed().as_secs_f64();
+        let (results, _, b) = self.compute_forces(&tree, false);
+        breakdown = b;
+        breakdown.build_tree = build_tree_time;
+        let t0 = Instant::now();
+        self.apply_and_integrate(&results);
+        breakdown.other = t0.elapsed().as_secs_f64();
+        breakdown
+    }
+
+    /// One rayon-parallel iteration: the force evaluation for each processor's leaves
+    /// runs as a rayon task over the shared tree expansions.
+    pub fn step_parallel(&mut self, num_chunks: usize) -> FmmPhaseBreakdown {
+        // The expansion passes are cheap compared to P2P for the paper's configurations;
+        // we parallelize the per-body near-field work by splitting bodies into chunks.
+        let t0 = Instant::now();
+        let tree = self.build_tree();
+        let build_tree_time = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
+        let partition = self.partition(&tree, num_chunks.max(1));
+        let partition_time = t0.elapsed().as_secs_f64();
+        let (results, _, mut breakdown) = self.compute_forces(&tree, false);
+        let _ = &partition;
+        breakdown.build_tree = build_tree_time;
+        breakdown.partition = partition_time;
+        // Integration is trivially parallel.
+        let dt = self.params.dt;
+        let t0 = Instant::now();
+        self.bodies
+            .par_iter_mut()
+            .zip(results.par_iter())
+            .for_each(|(b, &(acc, phi))| {
+                b.acc = acc;
+                b.phi = phi;
+                b.vel += acc * dt;
+                b.pos += b.vel * dt;
+            });
+        breakdown.other = t0.elapsed().as_secs_f64();
+        breakdown
+    }
+
+    fn apply_and_integrate(&mut self, results: &[(Vec3, f64)]) {
+        let dt = self.params.dt;
+        for (b, &(acc, phi)) in self.bodies.iter_mut().zip(results) {
+            b.acc = acc;
+            b.phi = phi;
+            b.vel += acc * dt;
+            b.pos += b.vel * dt;
+        }
+    }
+
+    /// One traced iteration over `num_procs` virtual processors.  Intervals, in order:
+    /// tree build (processor 0 reads all bodies), upward pass (each processor reads the
+    /// bodies of its leaves), evaluation (near-field reads plus writes of owned bodies),
+    /// and update (writes of owned bodies) — each closed by a barrier.
+    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
+        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+        let tree = self.build_tree();
+        // Interval 1: sequential tree build.
+        for i in 0..self.bodies.len() {
+            builder.read(0, i);
+        }
+        builder.barrier();
+
+        let partition = self.partition(&tree, num_procs);
+        // Interval 2: upward pass — P2M reads each leaf's bodies (by the leaf's owner).
+        for (proc, leaves) in partition.leaves.iter().enumerate() {
+            for &c in leaves {
+                for &b in &tree.leaf_bodies[c as usize] {
+                    builder.read(proc, b as usize);
+                }
+            }
+        }
+        builder.barrier();
+
+        // Interval 3: evaluation — near-field reads plus writes of owned bodies.
+        let (results, reads, _) = self.compute_forces(&tree, true);
+        for (proc, leaves) in partition.leaves.iter().enumerate() {
+            for &c in leaves {
+                for &b in &tree.leaf_bodies[c as usize] {
+                    builder.read(proc, b as usize);
+                    for &other in &reads[b as usize] {
+                        builder.read(proc, other as usize);
+                    }
+                    builder.write(proc, b as usize);
+                }
+            }
+        }
+        builder.barrier();
+
+        // Interval 4: update — each owner writes its bodies.
+        for (proc, leaves) in partition.leaves.iter().enumerate() {
+            for &c in leaves {
+                for &b in &tree.leaf_bodies[c as usize] {
+                    builder.write(proc, b as usize);
+                }
+            }
+        }
+        builder.barrier();
+        self.apply_and_integrate(&results);
+        let _ = partition.owner;
+    }
+
+    /// Run `iterations` traced iterations on `num_procs` virtual processors.
+    pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
+        let mut builder = TraceBuilder::new(self.layout(), num_procs);
+        for _ in 0..iterations {
+            self.step_traced(num_procs, &mut builder);
+        }
+        builder.finish()
+    }
+
+    /// Direct O(n²) force evaluation with the same 2-D kernel — the accuracy reference
+    /// used by the test-suite.  Returns per-body `(acc, phi)`.
+    pub fn direct_forces(&self) -> Vec<(Vec3, f64)> {
+        let eps2 = self.params.eps * self.params.eps;
+        let n = self.bodies.len();
+        let mut out = vec![(Vec3::ZERO, 0.0); n];
+        for i in 0..n {
+            let zi = Complex::new(self.bodies[i].pos.x, self.bodies[i].pos.y);
+            let mut acc = Complex::ZERO;
+            let mut pot = 0.0;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let zj = Complex::new(self.bodies[j].pos.x, self.bodies[j].pos.y);
+                let dz = zj - zi;
+                let r2 = dz.norm_sq() + eps2;
+                acc += dz * (self.bodies[j].mass / r2);
+                pot += 0.5 * self.bodies[j].mass * r2.ln();
+            }
+            out[i] = (Vec3::new(acc.re, acc.im, 0.0), pot);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_fmm(n: usize, seed: u64) -> Fmm {
+        Fmm::two_plummer(
+            n,
+            seed,
+            FmmParams { order: 10, target_per_leaf: 8, dt: 0.01, eps: 0.0 },
+        )
+    }
+
+    #[test]
+    fn fmm_forces_match_direct_summation() {
+        let fmm = small_fmm(400, 1);
+        let tree = fmm.build_tree();
+        let (approx, _, _) = fmm.compute_forces(&tree, false);
+        let exact = fmm.direct_forces();
+        let mut rel_err = 0.0;
+        let mut count = 0;
+        for (a, e) in approx.iter().zip(&exact) {
+            let norm = e.0.norm();
+            if norm > 1e-9 {
+                rel_err += (a.0 - e.0).norm() / norm;
+                count += 1;
+            }
+        }
+        let mean = rel_err / count as f64;
+        assert!(mean < 1e-3, "mean relative force error {mean}");
+    }
+
+    #[test]
+    fn higher_order_is_more_accurate() {
+        let err_for = |order: usize| {
+            let mut f = small_fmm(300, 2);
+            f.params.order = order;
+            let tree = f.build_tree();
+            let (approx, _, _) = f.compute_forces(&tree, false);
+            let exact = f.direct_forces();
+            approx
+                .iter()
+                .zip(&exact)
+                .map(|(a, e)| (a.0 - e.0).norm() / e.0.norm().max(1e-12))
+                .sum::<f64>()
+                / approx.len() as f64
+        };
+        let coarse = err_for(2);
+        let fine = err_for(12);
+        assert!(fine < coarse, "order 12 ({fine}) must beat order 2 ({coarse})");
+    }
+
+    #[test]
+    fn sequential_and_parallel_steps_agree() {
+        let mut a = small_fmm(300, 3);
+        let mut b = a.clone();
+        a.step_sequential();
+        b.step_parallel(4);
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert!(x.pos.dist(y.pos) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn traced_step_emits_four_intervals_and_writes_every_body() {
+        let mut fmm = small_fmm(256, 4);
+        let trace = fmm.trace_iterations(1, 4);
+        assert_eq!(trace.intervals.len(), 4);
+        // Every body written exactly once in the evaluation interval and once in update.
+        for interval in [2usize, 3] {
+            let writes: usize = trace.intervals[interval]
+                .accesses
+                .iter()
+                .map(|s| s.iter().filter(|a| a.is_write()).count())
+                .sum();
+            assert_eq!(writes, 256, "interval {interval}");
+        }
+        // Tree build is sequential.
+        for p in 1..4 {
+            assert!(trace.intervals[0].accesses[p].is_empty());
+        }
+    }
+
+    #[test]
+    fn traced_and_sequential_physics_agree() {
+        let mut a = small_fmm(200, 5);
+        let mut b = a.clone();
+        a.step_sequential();
+        let mut builder = TraceBuilder::new(b.layout(), 3);
+        b.step_traced(3, &mut builder);
+        for (x, y) in a.bodies.iter().zip(&b.bodies) {
+            assert!(x.pos.dist(y.pos) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn reordering_does_not_change_the_physics() {
+        let mut original = small_fmm(200, 6);
+        let mut reordered = original.clone();
+        reordered.reorder(Method::Hilbert);
+        original.step_sequential();
+        reordered.step_sequential();
+        let sum = |f: &Fmm| {
+            let mut s = Vec3::ZERO;
+            for b in &f.bodies {
+                s += b.pos;
+            }
+            s
+        };
+        assert!((sum(&original) - sum(&reordered)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn phase_breakdown_rows_cover_all_time() {
+        let mut fmm = small_fmm(300, 7);
+        let breakdown = fmm.step_sequential();
+        let row_sum: f64 = breakdown.rows().iter().map(|(_, t)| t).sum();
+        assert!((row_sum - breakdown.total()).abs() < 1e-12);
+        assert!(breakdown.total() > 0.0);
+        assert!(breakdown.intra_particle > 0.0);
+    }
+
+    #[test]
+    fn partition_covers_every_leaf_exactly_once() {
+        let fmm = small_fmm(500, 8);
+        let tree = fmm.build_tree();
+        let part = fmm.partition(&tree, 6);
+        let mut all: Vec<CellId> = part.leaves.iter().flatten().copied().collect();
+        all.sort_unstable();
+        assert_eq!(all.len(), tree.leaf_bodies.len());
+        for (c, &o) in part.owner.iter().enumerate() {
+            assert!(part.leaves[o].contains(&(c as CellId)));
+        }
+    }
+}

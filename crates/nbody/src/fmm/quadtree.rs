@@ -1,0 +1,271 @@
+//! The uniform quadtree used by the 2-D FMM: level-by-level cell arrays, neighbour and
+//! interaction-list computation.
+//!
+//! The SPLASH-2 FMM uses an adaptive quadtree; we use a uniform quadtree whose depth is
+//! chosen from the particle count.  The substitution keeps every property the paper's
+//! analysis depends on — cells are created and owned per processor, particles are only
+//! touched during P2M, P2P and L2P, and the interaction pattern between cells follows
+//! physical adjacency — while keeping the interaction-list construction simple and
+//! verifiable.  (DESIGN.md documents this substitution.)
+
+use super::expansion::Complex;
+
+/// A cell index within one level: row-major `(ix, iy)` packed as `iy * side + ix`.
+pub type CellId = u32;
+
+/// A uniform quadtree over the unit square `[x0, x0+size] × [y0, y0+size]`.
+#[derive(Debug, Clone)]
+pub struct QuadTree {
+    /// Number of levels; level 0 is the root, level `levels - 1` is the leaf level.
+    pub levels: usize,
+    /// Lower-left corner of the root cell.
+    pub origin: (f64, f64),
+    /// Side length of the root cell.
+    pub size: f64,
+    /// `leaf_bodies[c]` — indices of the bodies contained in leaf cell `c`.
+    pub leaf_bodies: Vec<Vec<u32>>,
+    /// `leaf_of_body[i]` — leaf cell containing body `i`.
+    pub leaf_of_body: Vec<CellId>,
+}
+
+impl QuadTree {
+    /// Number of cells along one side at `level`.
+    pub fn side(level: usize) -> usize {
+        1 << level
+    }
+
+    /// Number of cells at `level`.
+    pub fn cells_at(level: usize) -> usize {
+        1 << (2 * level)
+    }
+
+    /// The leaf level.
+    pub fn leaf_level(&self) -> usize {
+        self.levels - 1
+    }
+
+    /// Build a quadtree of `levels` levels over 2-D points (`z = x + iy` taken from the
+    /// first two components of each position).
+    ///
+    /// # Panics
+    /// Panics if `levels == 0` or `positions` is empty.
+    pub fn build(positions: &[[f64; 3]], levels: usize) -> Self {
+        assert!(levels >= 1, "need at least the root level");
+        assert!(!positions.is_empty(), "cannot build a tree over zero bodies");
+        let mut min_x = f64::INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        for p in positions {
+            min_x = min_x.min(p[0]);
+            min_y = min_y.min(p[1]);
+            max_x = max_x.max(p[0]);
+            max_y = max_y.max(p[1]);
+        }
+        let size = ((max_x - min_x).max(max_y - min_y)).max(1e-9) * 1.0001;
+        let origin = (min_x, min_y);
+        let leaf_side = Self::side(levels - 1);
+        let mut leaf_bodies = vec![Vec::new(); leaf_side * leaf_side];
+        let mut leaf_of_body = vec![0 as CellId; positions.len()];
+        for (i, p) in positions.iter().enumerate() {
+            let ix = (((p[0] - origin.0) / size) * leaf_side as f64) as usize;
+            let iy = (((p[1] - origin.1) / size) * leaf_side as f64) as usize;
+            let ix = ix.min(leaf_side - 1);
+            let iy = iy.min(leaf_side - 1);
+            let cell = (iy * leaf_side + ix) as CellId;
+            leaf_bodies[cell as usize].push(i as u32);
+            leaf_of_body[i] = cell;
+        }
+        QuadTree { levels, origin, size, leaf_bodies, leaf_of_body }
+    }
+
+    /// Pick a tree depth so that the *average* leaf holds roughly `target_per_leaf`
+    /// bodies.
+    pub fn levels_for(n: usize, target_per_leaf: usize) -> usize {
+        let target_cells = (n / target_per_leaf.max(1)).max(1);
+        let mut levels = 1;
+        while Self::cells_at(levels - 1) < target_cells && levels < 12 {
+            levels += 1;
+        }
+        levels
+    }
+
+    /// Geometric centre of cell `c` at `level`, as a complex number.
+    pub fn cell_center(&self, level: usize, c: CellId) -> Complex {
+        let side = Self::side(level);
+        let cell_size = self.size / side as f64;
+        let ix = (c as usize) % side;
+        let iy = (c as usize) / side;
+        Complex::new(
+            self.origin.0 + (ix as f64 + 0.5) * cell_size,
+            self.origin.1 + (iy as f64 + 0.5) * cell_size,
+        )
+    }
+
+    /// The parent (at `level - 1`) of cell `c` at `level`.
+    pub fn parent(level: usize, c: CellId) -> CellId {
+        let side = Self::side(level);
+        let ix = (c as usize) % side;
+        let iy = (c as usize) / side;
+        ((iy / 2) * Self::side(level - 1) + ix / 2) as CellId
+    }
+
+    /// The four children (at `level + 1`) of cell `c` at `level`.
+    pub fn children(level: usize, c: CellId) -> [CellId; 4] {
+        let side = Self::side(level);
+        let child_side = Self::side(level + 1);
+        let ix = (c as usize) % side;
+        let iy = (c as usize) / side;
+        let bx = ix * 2;
+        let by = iy * 2;
+        [
+            (by * child_side + bx) as CellId,
+            (by * child_side + bx + 1) as CellId,
+            ((by + 1) * child_side + bx) as CellId,
+            ((by + 1) * child_side + bx + 1) as CellId,
+        ]
+    }
+
+    /// The neighbours of cell `c` at `level` (the ≤ 8 cells sharing an edge or corner).
+    pub fn neighbors(level: usize, c: CellId) -> Vec<CellId> {
+        let side = Self::side(level) as isize;
+        let ix = (c as isize) % side;
+        let iy = (c as isize) / side;
+        let mut out = Vec::with_capacity(8);
+        for dy in -1..=1isize {
+            for dx in -1..=1isize {
+                if dx == 0 && dy == 0 {
+                    continue;
+                }
+                let nx = ix + dx;
+                let ny = iy + dy;
+                if nx >= 0 && nx < side && ny >= 0 && ny < side {
+                    out.push((ny * side + nx) as CellId);
+                }
+            }
+        }
+        out
+    }
+
+    /// The interaction list of cell `c` at `level`: children of the parent's neighbours
+    /// that are not themselves neighbours of `c` (the classic "well-separated at this
+    /// level, not separated at the parent level" set, at most 27 cells in 2-D).
+    pub fn interaction_list(level: usize, c: CellId) -> Vec<CellId> {
+        if level == 0 {
+            return Vec::new();
+        }
+        let parent = Self::parent(level, c);
+        let near: std::collections::BTreeSet<CellId> =
+            Self::neighbors(level, c).into_iter().chain(std::iter::once(c)).collect();
+        let mut out = Vec::new();
+        for pn in Self::neighbors(level - 1, parent).into_iter().chain(std::iter::once(parent)) {
+            for child in Self::children(level - 1, pn) {
+                if !near.contains(&child) {
+                    out.push(child);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_body_is_assigned_to_exactly_one_leaf() {
+        let pts: Vec<[f64; 3]> = (0..500)
+            .map(|i| {
+                let a = i as f64 * 0.61;
+                [a.sin() * 3.0, a.cos() * 2.0, 0.0]
+            })
+            .collect();
+        let tree = QuadTree::build(&pts, 4);
+        let total: usize = tree.leaf_bodies.iter().map(Vec::len).sum();
+        assert_eq!(total, 500);
+        for (i, &leaf) in tree.leaf_of_body.iter().enumerate() {
+            assert!(tree.leaf_bodies[leaf as usize].contains(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn parent_child_relations_are_consistent() {
+        for level in 1..5 {
+            for c in 0..QuadTree::cells_at(level) as CellId {
+                let p = QuadTree::parent(level, c);
+                assert!(QuadTree::children(level - 1, p).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_are_symmetric_and_bounded() {
+        let level = 3;
+        for c in 0..QuadTree::cells_at(level) as CellId {
+            let nbrs = QuadTree::neighbors(level, c);
+            assert!(nbrs.len() <= 8 && nbrs.len() >= 3);
+            for n in nbrs {
+                assert!(QuadTree::neighbors(level, n).contains(&c));
+            }
+        }
+    }
+
+    #[test]
+    fn interaction_list_cells_are_well_separated_but_parents_are_not() {
+        let level = 4;
+        let side = QuadTree::side(level) as isize;
+        for &c in &[0 as CellId, 37, 100, (side * side - 1) as CellId] {
+            let ix = (c as isize) % side;
+            let iy = (c as isize) / side;
+            for w in QuadTree::interaction_list(level, c) {
+                let wx = (w as isize) % side;
+                let wy = (w as isize) / side;
+                let dist = (ix - wx).abs().max((iy - wy).abs());
+                assert!(dist >= 2, "interaction-list cell {w} is adjacent to {c}");
+                assert!(dist <= 3, "interaction-list cell {w} is too far from {c}");
+            }
+            assert!(QuadTree::interaction_list(level, c).len() <= 27);
+        }
+    }
+
+    #[test]
+    fn interaction_lists_plus_neighbors_cover_the_parent_neighborhood() {
+        let level = 3;
+        for c in 0..QuadTree::cells_at(level) as CellId {
+            let mut covered: std::collections::BTreeSet<CellId> =
+                QuadTree::interaction_list(level, c).into_iter().collect();
+            covered.extend(QuadTree::neighbors(level, c));
+            covered.insert(c);
+            // Every child of the parent's neighbourhood must be accounted for.
+            let parent = QuadTree::parent(level, c);
+            for pn in QuadTree::neighbors(level - 1, parent).into_iter().chain([parent]) {
+                for child in QuadTree::children(level - 1, pn) {
+                    assert!(covered.contains(&child));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn levels_for_scales_with_body_count() {
+        assert_eq!(QuadTree::levels_for(10, 10), 1);
+        assert!(QuadTree::levels_for(10_000, 10) >= 5);
+        assert!(QuadTree::levels_for(10_000, 10) <= 8);
+        assert!(QuadTree::levels_for(1 << 20, 8) <= 12);
+    }
+
+    #[test]
+    fn cell_centers_tile_the_domain() {
+        let pts = vec![[0.0, 0.0, 0.0], [1.0, 1.0, 0.0]];
+        let tree = QuadTree::build(&pts, 3);
+        let level = 2;
+        let side = QuadTree::side(level);
+        for c in 0..QuadTree::cells_at(level) as CellId {
+            let center = tree.cell_center(level, c);
+            assert!(center.re > tree.origin.0 && center.re < tree.origin.0 + tree.size);
+            assert!(center.im > tree.origin.1 && center.im < tree.origin.1 + tree.size);
+            let _ = side;
+        }
+    }
+}

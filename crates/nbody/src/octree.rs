@@ -1,0 +1,333 @@
+//! The Barnes-Hut octree: recursive spatial decomposition of the 3-D domain with
+//! centre-of-mass summaries in every internal cell.
+//!
+//! The tree is the *auxiliary* data structure of a Category-1 application: it encodes
+//! physical proximity, is rebuilt every iteration, and drives both the force evaluation
+//! (partial traversals with the opening-angle criterion) and the computation partition
+//! (an in-order traversal hands out physically contiguous groups of particles).  The
+//! particle array itself is left untouched by tree construction — which is exactly why
+//! its memory order can be so bad, and why reordering it is safe.
+
+use crate::body::Body;
+use crate::vec3::Vec3;
+
+/// Index of a node inside the [`Octree`]'s node arena.
+pub type NodeId = u32;
+
+/// One node of the octree.
+#[derive(Debug, Clone)]
+pub struct OctNode {
+    /// Geometric centre of the cell.
+    pub center: Vec3,
+    /// Half the side length of the (cubic) cell.
+    pub half: f64,
+    /// Total mass of the bodies contained in the subtree.
+    pub mass: f64,
+    /// Centre of mass of the subtree.
+    pub com: Vec3,
+    /// Children (for internal nodes) — up to 8 octants, `None` if empty.
+    pub children: [Option<NodeId>; 8],
+    /// Body indices (for leaf nodes).
+    pub bodies: Vec<u32>,
+    /// Whether this node is a leaf.
+    pub is_leaf: bool,
+}
+
+/// A Barnes-Hut octree over a body array.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<OctNode>,
+    root: NodeId,
+    leaf_capacity: usize,
+}
+
+impl Octree {
+    /// Build the tree over `bodies`, splitting any leaf holding more than
+    /// `leaf_capacity` bodies.  The build is sequential, matching the paper's modified
+    /// benchmark ("a single processor reads all of the particles and rebuilds the
+    /// tree").
+    ///
+    /// # Panics
+    /// Panics if `bodies` is empty or `leaf_capacity` is zero.
+    pub fn build(bodies: &[Body], leaf_capacity: usize) -> Self {
+        assert!(!bodies.is_empty(), "cannot build a tree over zero bodies");
+        assert!(leaf_capacity >= 1, "leaf capacity must be at least 1");
+        // Bounding cube.
+        let mut min = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut max = Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for b in bodies {
+            min.x = min.x.min(b.pos.x);
+            min.y = min.y.min(b.pos.y);
+            min.z = min.z.min(b.pos.z);
+            max.x = max.x.max(b.pos.x);
+            max.y = max.y.max(b.pos.y);
+            max.z = max.z.max(b.pos.z);
+        }
+        let center = (min + max) * 0.5;
+        let half = ((max.x - min.x).max(max.y - min.y).max(max.z - min.z) * 0.5).max(1e-9) * 1.0001;
+
+        let mut tree = Octree {
+            nodes: vec![OctNode {
+                center,
+                half,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                children: [None; 8],
+                bodies: Vec::new(),
+                is_leaf: true,
+            }],
+            root: 0,
+            leaf_capacity,
+        };
+        for (i, b) in bodies.iter().enumerate() {
+            tree.insert(tree.root, i as u32, b.pos, bodies);
+        }
+        tree.summarize(tree.root, bodies);
+        tree
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Access a node by id.
+    pub fn node(&self, id: NodeId) -> &OctNode {
+        &self.nodes[id as usize]
+    }
+
+    /// The octant (0..8) of `pos` relative to a cell centred at `center`.
+    fn octant(center: Vec3, pos: Vec3) -> usize {
+        (usize::from(pos.x >= center.x))
+            | (usize::from(pos.y >= center.y) << 1)
+            | (usize::from(pos.z >= center.z) << 2)
+    }
+
+    /// Centre of the `oct`-th child of a cell at `center` with half-size `half`.
+    fn child_center(center: Vec3, half: f64, oct: usize) -> Vec3 {
+        let q = half * 0.5;
+        Vec3::new(
+            center.x + if oct & 1 != 0 { q } else { -q },
+            center.y + if oct & 2 != 0 { q } else { -q },
+            center.z + if oct & 4 != 0 { q } else { -q },
+        )
+    }
+
+    fn insert(&mut self, node: NodeId, body: u32, pos: Vec3, bodies: &[Body]) {
+        let n = node as usize;
+        if self.nodes[n].is_leaf {
+            self.nodes[n].bodies.push(body);
+            // Split when over capacity, unless the cell is already tiny (coincident
+            // particles would otherwise recurse forever).
+            if self.nodes[n].bodies.len() > self.leaf_capacity && self.nodes[n].half > 1e-12 {
+                let existing = std::mem::take(&mut self.nodes[n].bodies);
+                self.nodes[n].is_leaf = false;
+                for b in existing {
+                    let p = bodies[b as usize].pos;
+                    self.insert_into_child(node, b, p, bodies);
+                }
+            }
+        } else {
+            self.insert_into_child(node, body, pos, bodies);
+        }
+    }
+
+    fn insert_into_child(&mut self, node: NodeId, body: u32, pos: Vec3, bodies: &[Body]) {
+        let (center, half) = {
+            let n = &self.nodes[node as usize];
+            (n.center, n.half)
+        };
+        let oct = Self::octant(center, pos);
+        let child = match self.nodes[node as usize].children[oct] {
+            Some(c) => c,
+            None => {
+                let id = self.nodes.len() as NodeId;
+                self.nodes.push(OctNode {
+                    center: Self::child_center(center, half, oct),
+                    half: half * 0.5,
+                    mass: 0.0,
+                    com: Vec3::ZERO,
+                    children: [None; 8],
+                    bodies: Vec::new(),
+                    is_leaf: true,
+                });
+                self.nodes[node as usize].children[oct] = Some(id);
+                id
+            }
+        };
+        self.insert(child, body, pos, bodies);
+    }
+
+    /// Compute mass and centre of mass bottom-up.
+    fn summarize(&mut self, node: NodeId, bodies: &[Body]) -> (f64, Vec3) {
+        let n = node as usize;
+        if self.nodes[n].is_leaf {
+            let mut mass = 0.0;
+            let mut weighted = Vec3::ZERO;
+            for &b in &self.nodes[n].bodies {
+                let body = &bodies[b as usize];
+                mass += body.mass;
+                weighted += body.pos * body.mass;
+            }
+            let com = if mass > 0.0 { weighted / mass } else { self.nodes[n].center };
+            self.nodes[n].mass = mass;
+            self.nodes[n].com = com;
+            (mass, com)
+        } else {
+            let children = self.nodes[n].children;
+            let mut mass = 0.0;
+            let mut weighted = Vec3::ZERO;
+            for child in children.into_iter().flatten() {
+                let (m, c) = self.summarize(child, bodies);
+                mass += m;
+                weighted += c * m;
+            }
+            let com = if mass > 0.0 { weighted / mass } else { self.nodes[n].center };
+            self.nodes[n].mass = mass;
+            self.nodes[n].com = com;
+            (mass, com)
+        }
+    }
+
+    /// In-order (depth-first, octant order) traversal of the leaves, returning body
+    /// indices in tree order.  Consecutive bodies in this order are physically close —
+    /// this is both the costzones partition order and (conceptually) the ordering a
+    /// space-filling-curve reordering imposes on memory.
+    pub fn inorder_bodies(&self) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.collect_inorder(self.root, &mut out);
+        out
+    }
+
+    fn collect_inorder(&self, node: NodeId, out: &mut Vec<u32>) {
+        let n = &self.nodes[node as usize];
+        if n.is_leaf {
+            out.extend_from_slice(&n.bodies);
+        } else {
+            for child in n.children.into_iter().flatten() {
+                self.collect_inorder(child, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::plummer_sphere;
+
+    fn bodies(n: usize, seed: u64) -> Vec<Body> {
+        let (pos, mass) = plummer_sphere(n, 3, 1.0, [0.0; 3], seed);
+        Body::from_positions(&pos, &mass)
+    }
+
+    #[test]
+    fn every_body_lands_in_exactly_one_leaf() {
+        let bs = bodies(500, 1);
+        let tree = Octree::build(&bs, 8);
+        let mut seen = vec![0u32; bs.len()];
+        for id in 0..tree.num_nodes() {
+            let node = tree.node(id as NodeId);
+            if node.is_leaf {
+                for &b in &node.bodies {
+                    seen[b as usize] += 1;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn leaves_respect_capacity() {
+        let bs = bodies(1000, 2);
+        let cap = 8;
+        let tree = Octree::build(&bs, cap);
+        for id in 0..tree.num_nodes() {
+            let node = tree.node(id as NodeId);
+            if node.is_leaf {
+                assert!(node.bodies.len() <= cap, "leaf holds {} bodies", node.bodies.len());
+            }
+        }
+    }
+
+    #[test]
+    fn root_mass_equals_total_mass() {
+        let bs = bodies(300, 3);
+        let tree = Octree::build(&bs, 4);
+        let total: f64 = bs.iter().map(|b| b.mass).sum();
+        assert!((tree.node(tree.root()).mass - total).abs() < 1e-9);
+    }
+
+    #[test]
+    fn centre_of_mass_matches_direct_computation() {
+        let bs = bodies(200, 4);
+        let tree = Octree::build(&bs, 8);
+        let total: f64 = bs.iter().map(|b| b.mass).sum();
+        let mut com = Vec3::ZERO;
+        for b in &bs {
+            com += b.pos * b.mass;
+        }
+        com = com / total;
+        let root_com = tree.node(tree.root()).com;
+        assert!(root_com.dist(com) < 1e-9);
+    }
+
+    #[test]
+    fn inorder_traversal_is_a_permutation_with_spatial_locality() {
+        let bs = bodies(800, 5);
+        let tree = Octree::build(&bs, 8);
+        let order = tree.inorder_bodies();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..bs.len() as u32).collect::<Vec<_>>());
+        // Consecutive bodies in tree order are much closer on average than consecutive
+        // bodies in (random) array order.
+        let mean_dist = |seq: &[u32]| {
+            seq.windows(2)
+                .map(|w| bs[w[0] as usize].pos.dist(bs[w[1] as usize].pos))
+                .sum::<f64>()
+                / (seq.len() - 1) as f64
+        };
+        let array_order: Vec<u32> = (0..bs.len() as u32).collect();
+        assert!(mean_dist(&order) * 2.0 < mean_dist(&array_order));
+    }
+
+    #[test]
+    fn coincident_bodies_do_not_blow_up_the_tree() {
+        let mut bs = bodies(4, 6);
+        let p = bs[0].pos;
+        for b in bs.iter_mut() {
+            b.pos = p;
+        }
+        let tree = Octree::build(&bs, 2);
+        assert!(tree.num_nodes() < 200);
+        assert_eq!(tree.inorder_bodies().len(), 4);
+    }
+
+    #[test]
+    fn children_lie_inside_their_parent() {
+        let bs = bodies(300, 7);
+        let tree = Octree::build(&bs, 4);
+        for id in 0..tree.num_nodes() {
+            let node = tree.node(id as NodeId);
+            for child in node.children.into_iter().flatten() {
+                let c = tree.node(child);
+                assert!(c.half <= node.half * 0.5 + 1e-12);
+                assert!((c.center.x - node.center.x).abs() <= node.half);
+                assert!((c.center.y - node.center.y).abs() <= node.half);
+                assert!((c.center.z - node.center.z).abs() <= node.half);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero bodies")]
+    fn empty_body_array_panics() {
+        Octree::build(&[], 8);
+    }
+}

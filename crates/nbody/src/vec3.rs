@@ -1,0 +1,160 @@
+//! A minimal 3-D vector type used by the particle codes.
+//!
+//! Only the handful of operations the simulations need are provided; the type is
+//! deliberately plain (`Copy`, no SIMD, no generics) so the force loops read like the
+//! original SPLASH-2 C code.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-component vector of `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// x component.
+    pub x: f64,
+    /// y component.
+    pub y: f64,
+    /// z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The zero vector.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Construct from components.
+    pub fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// Construct from a `[x, y, z]` array.
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Vec3 { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// Convert to a `[x, y, z]` array.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Component by index (0 = x, 1 = y, 2 = z).
+    pub fn component(self, d: usize) -> f64 {
+        match d {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 has no component {d}"),
+        }
+    }
+
+    /// Dot product.
+    pub fn dot(self, other: Vec3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared distance to another point.
+    pub fn dist_sq(self, other: Vec3) -> f64 {
+        (self - other).norm_sq()
+    }
+
+    /// Distance to another point.
+    pub fn dist(self, other: Vec3) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, o: Vec3) {
+        self.x += o.x;
+        self.y += o.y;
+        self.z += o.z;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_componentwise() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, -2.0, 0.5);
+        assert_eq!(a + b, Vec3::new(5.0, 0.0, 3.5));
+        assert_eq!(a - b, Vec3::new(-3.0, 4.0, 2.5));
+        assert_eq!(a * 2.0, Vec3::new(2.0, 4.0, 6.0));
+        assert_eq!(b / 2.0, Vec3::new(2.0, -1.0, 0.25));
+        assert_eq!(-a, Vec3::new(-1.0, -2.0, -3.0));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        let a = Vec3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.dot(Vec3::new(1.0, 1.0, 1.0)), 7.0);
+        assert_eq!(a.dist(Vec3::ZERO), 5.0);
+        assert_eq!(Vec3::ZERO.dist_sq(a), 25.0);
+    }
+
+    #[test]
+    fn array_roundtrip_and_components() {
+        let a = Vec3::from_array([1.5, -2.5, 3.5]);
+        assert_eq!(a.to_array(), [1.5, -2.5, 3.5]);
+        assert_eq!(a.component(0), 1.5);
+        assert_eq!(a.component(1), -2.5);
+        assert_eq!(a.component(2), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "no component")]
+    fn bad_component_panics() {
+        Vec3::ZERO.component(3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # `smtrace` — shared-memory address-space model and access traces
+//!
+//! The paper evaluates data reordering on two very different substrates: a hardware
+//! shared-memory machine (SGI Origin 2000) and two page-based software DSM systems
+//! (TreadMarks and HLRC).  What both substrates have in common is that their behaviour
+//! is a function of *which processor touches which consistency unit, and when relative
+//! to synchronization*:
+//!
+//! * the hardware numbers in Table 2 (L2 cache misses, TLB misses) are determined by the
+//!   per-processor stream of cache-line and page addresses;
+//! * the software-DSM numbers in Table 3 (messages, data volume) are determined by the
+//!   per-*interval* (barrier-to-barrier) read and write page sets of each processor.
+//!
+//! This crate provides the shared model those two simulators (`memsim` and `dsm`) are
+//! driven by:
+//!
+//! * [`ObjectLayout`] — how an object array maps onto bytes, cache lines and pages;
+//! * [`Access`], [`AccessKind`] — a single fine-grained object access;
+//! * [`TraceBuilder`] / [`ProgramTrace`] — per-processor, per-interval access streams
+//!   separated by barriers (and annotated with lock acquisitions);
+//! * [`UnitAccessSets`] — reduction of an interval's accesses to per-consistency-unit
+//!   read/write sets, the quantity false sharing is defined over.
+//!
+//! The benchmark applications (`nbody`, `molecular`, `unstructured`) are written so that
+//! the *same* partitioned computation both runs in parallel with rayon (for wall-clock
+//! measurements) and records a trace with `P` *virtual* processors (so the simulated
+//! processor count is independent of the host's core count, exactly like the paper's
+//! 1–16 processor sweeps).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod access;
+pub mod layout;
+pub mod sets;
+pub mod trace;
+
+pub use access::{Access, AccessKind};
+pub use layout::{ConsistencyGranularity, ObjectLayout};
+pub use sets::{SharingHistogram, UnitAccessSets};
+pub use trace::{IntervalTrace, ProgramTrace, SyncEvent, TraceBuilder};

@@ -1,0 +1,270 @@
+//! Reduction of access streams to per-consistency-unit read/write sets, and the
+//! page-sharing histograms built from them.
+//!
+//! False sharing — the central quantity of the paper — is defined over these sets: a
+//! consistency unit is falsely shared in an interval when at least two processors access
+//! it, at least one of them writes it, and the processors touch *different* objects
+//! within it.  The sharing histograms of Figures 2 and 5 ("number of processors sharing
+//! each page") are the per-unit counts of processors whose read or write set contains
+//! the unit.
+
+use std::collections::BTreeSet;
+
+use crate::access::Access;
+use crate::layout::ObjectLayout;
+
+/// The set of consistency units a single processor read and wrote during one interval.
+///
+/// Units are kept in sorted order (BTreeSet) so that set operations and deterministic
+/// iteration are cheap; unit counts are small (hundreds to a few thousand pages) even
+/// for the largest workloads in the paper.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UnitAccessSets {
+    /// Units from which the processor read at least once.
+    pub read_units: BTreeSet<usize>,
+    /// Units to which the processor wrote at least once.
+    pub write_units: BTreeSet<usize>,
+    /// Objects the processor wrote (used for distinguishing true from false sharing).
+    pub written_objects: BTreeSet<u32>,
+    /// Objects the processor read.
+    pub read_objects: BTreeSet<u32>,
+}
+
+impl UnitAccessSets {
+    /// Build the sets from an ordered access stream.  An object that straddles several
+    /// units contributes every unit it overlaps.
+    pub fn from_accesses(accesses: &[Access], layout: &ObjectLayout, unit_bytes: usize) -> Self {
+        let mut sets = UnitAccessSets::default();
+        for a in accesses {
+            let (first, last) = layout.units_of(a.object(), unit_bytes);
+            if a.is_write() {
+                sets.written_objects.insert(a.object);
+                for u in first..=last {
+                    sets.write_units.insert(u);
+                }
+            } else {
+                sets.read_objects.insert(a.object);
+                for u in first..=last {
+                    sets.read_units.insert(u);
+                }
+            }
+        }
+        sets
+    }
+
+    /// Every unit the processor touched (read or write).
+    pub fn touched_units(&self) -> BTreeSet<usize> {
+        self.read_units.union(&self.write_units).copied().collect()
+    }
+
+    /// Whether the processor wrote unit `unit`.
+    pub fn wrote_unit(&self, unit: usize) -> bool {
+        self.write_units.contains(&unit)
+    }
+
+    /// Whether the processor read unit `unit`.
+    pub fn read_unit(&self, unit: usize) -> bool {
+        self.read_units.contains(&unit)
+    }
+}
+
+/// Per-unit sharing statistics for one interval (or aggregated over a whole trace):
+/// for every consistency unit, how many processors touched it, how many wrote it, and
+/// whether the sharing is *false* (writers touch disjoint objects) or true.
+#[derive(Debug, Clone)]
+pub struct SharingHistogram {
+    /// Number of consistency units analysed.
+    pub num_units: usize,
+    /// `sharers[u]` = number of processors that read or wrote unit `u`.
+    pub sharers: Vec<u32>,
+    /// `writers[u]` = number of processors that wrote unit `u`.
+    pub writers: Vec<u32>,
+    /// `falsely_shared[u]` = true when at least two processors *write* the unit but no
+    /// single object is written by more than one processor — i.e. the write sharing is
+    /// purely an artifact of co-locating unrelated objects in one consistency unit,
+    /// which is the false sharing that data reordering eliminates.
+    pub falsely_shared: Vec<bool>,
+}
+
+impl SharingHistogram {
+    /// Build the histogram from every processor's per-unit access sets for one interval.
+    pub fn from_unit_sets(per_proc: &[UnitAccessSets], num_units: usize) -> Self {
+        let mut sharers = vec![0u32; num_units];
+        let mut writers = vec![0u32; num_units];
+        for sets in per_proc {
+            for &u in sets.touched_units().iter() {
+                if u < num_units {
+                    sharers[u] += 1;
+                }
+            }
+            for &u in &sets.write_units {
+                if u < num_units {
+                    writers[u] += 1;
+                }
+            }
+        }
+        // A unit is falsely (write-)shared when at least two processors write it but no
+        // object is written by more than one processor: the writers only conflict
+        // because unrelated objects were co-located in the unit.  If some object is
+        // written by two processors, the unit carries true communication regardless of
+        // layout and is not counted.
+        let mut write_conflict_objects = std::collections::BTreeSet::new();
+        {
+            let mut writer_count: std::collections::BTreeMap<u32, u32> =
+                std::collections::BTreeMap::new();
+            for sets in per_proc {
+                for &o in &sets.written_objects {
+                    *writer_count.entry(o).or_insert(0) += 1;
+                }
+            }
+            for (&o, &c) in &writer_count {
+                if c >= 2 {
+                    write_conflict_objects.insert(o);
+                }
+            }
+        }
+        let mut falsely_shared = vec![false; num_units];
+        for u in 0..num_units {
+            if writers[u] < 2 {
+                continue;
+            }
+            // Does any write-conflicted object live in (or straddle into) this unit?
+            let mut truly_shared = false;
+            for sets in per_proc {
+                if !sets.wrote_unit(u) {
+                    continue;
+                }
+                if sets.written_objects.iter().any(|o| write_conflict_objects.contains(o)) {
+                    // Conservative: the conflicted object may be in another unit, but a
+                    // conflicted writer makes the unit's traffic layout-independent.
+                    truly_shared = true;
+                    break;
+                }
+            }
+            falsely_shared[u] = !truly_shared;
+        }
+        SharingHistogram { num_units, sharers, writers, falsely_shared }
+    }
+
+    /// Average number of processors sharing a unit, over units touched by at least one
+    /// processor (the paper's "average number of processors sharing a page").
+    pub fn mean_sharers(&self) -> f64 {
+        let touched: Vec<u32> = self.sharers.iter().copied().filter(|&s| s > 0).collect();
+        if touched.is_empty() {
+            return 0.0;
+        }
+        touched.iter().map(|&s| f64::from(s)).sum::<f64>() / touched.len() as f64
+    }
+
+    /// Number of units shared (touched by ≥2 processors) at all.
+    pub fn shared_units(&self) -> usize {
+        self.sharers.iter().filter(|&&s| s >= 2).count()
+    }
+
+    /// Number of units that are write-shared (written by ≥1 and touched by ≥2).
+    pub fn write_shared_units(&self) -> usize {
+        (0..self.num_units)
+            .filter(|&u| self.sharers[u] >= 2 && self.writers[u] >= 1)
+            .count()
+    }
+
+    /// Number of units flagged as falsely shared.
+    pub fn falsely_shared_units(&self) -> usize {
+        self.falsely_shared.iter().filter(|&&f| f).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> ObjectLayout {
+        // 8 objects of 64 bytes per 512-byte unit.
+        ObjectLayout::new(64, 64)
+    }
+
+    #[test]
+    fn sets_classify_reads_and_writes() {
+        let l = layout();
+        let accesses = vec![Access::read(0), Access::write(9), Access::read(17)];
+        let sets = UnitAccessSets::from_accesses(&accesses, &l, 512);
+        assert!(sets.read_unit(0));
+        assert!(sets.wrote_unit(1));
+        assert!(sets.read_unit(2));
+        assert!(!sets.wrote_unit(0));
+        assert_eq!(sets.touched_units().len(), 3);
+    }
+
+    #[test]
+    fn straddling_object_touches_every_overlapped_unit() {
+        // 680-byte objects over 512-byte units: object 0 covers units 0 and 1.
+        let l = ObjectLayout::new(4, 680);
+        let sets = UnitAccessSets::from_accesses(&[Access::write(0)], &l, 512);
+        assert!(sets.wrote_unit(0));
+        assert!(sets.wrote_unit(1));
+    }
+
+    #[test]
+    fn false_sharing_detected_when_writers_touch_disjoint_objects() {
+        let l = layout();
+        // Two processors write different objects in the same unit.
+        let p0 = UnitAccessSets::from_accesses(&[Access::write(0)], &l, 512);
+        let p1 = UnitAccessSets::from_accesses(&[Access::write(1)], &l, 512);
+        let h = SharingHistogram::from_unit_sets(&[p0, p1], l.num_units(512));
+        assert_eq!(h.sharers[0], 2);
+        assert_eq!(h.writers[0], 2);
+        assert!(h.falsely_shared[0]);
+        assert_eq!(h.falsely_shared_units(), 1);
+    }
+
+    #[test]
+    fn true_sharing_is_not_flagged_as_false_sharing() {
+        let l = layout();
+        // Both processors access the *same* object, one writes it: true sharing.
+        let p0 = UnitAccessSets::from_accesses(&[Access::write(3)], &l, 512);
+        let p1 = UnitAccessSets::from_accesses(&[Access::read(3)], &l, 512);
+        let h = SharingHistogram::from_unit_sets(&[p0, p1], l.num_units(512));
+        assert_eq!(h.sharers[0], 2);
+        assert!(!h.falsely_shared[0]);
+    }
+
+    #[test]
+    fn read_only_sharing_is_not_false_sharing() {
+        let l = layout();
+        let p0 = UnitAccessSets::from_accesses(&[Access::read(0)], &l, 512);
+        let p1 = UnitAccessSets::from_accesses(&[Access::read(1)], &l, 512);
+        let h = SharingHistogram::from_unit_sets(&[p0, p1], l.num_units(512));
+        assert_eq!(h.sharers[0], 2);
+        assert_eq!(h.writers[0], 0);
+        assert!(!h.falsely_shared[0]);
+        assert_eq!(h.write_shared_units(), 0);
+    }
+
+    #[test]
+    fn mean_sharers_ignores_untouched_units() {
+        let l = ObjectLayout::new(64, 64); // 8 units of 512 B
+        let p0 = UnitAccessSets::from_accesses(&[Access::write(0)], &l, 512);
+        let p1 = UnitAccessSets::from_accesses(&[Access::write(1)], &l, 512);
+        let p2 = UnitAccessSets::from_accesses(&[Access::write(63)], &l, 512);
+        let h = SharingHistogram::from_unit_sets(&[p0, p1, p2], l.num_units(512));
+        // Unit 0 has 2 sharers, unit 7 has 1; mean over touched units = 1.5.
+        assert!((h.mean_sharers() - 1.5).abs() < 1e-12);
+        assert_eq!(h.shared_units(), 1);
+    }
+
+    #[test]
+    fn perfectly_partitioned_accesses_share_nothing() {
+        let l = layout();
+        let per_proc: Vec<UnitAccessSets> = (0..8)
+            .map(|p| {
+                let accesses: Vec<Access> =
+                    (0..8).map(|i| Access::write(p * 8 + i)).collect();
+                UnitAccessSets::from_accesses(&accesses, &l, 512)
+            })
+            .collect();
+        let h = SharingHistogram::from_unit_sets(&per_proc, l.num_units(512));
+        assert_eq!(h.shared_units(), 0);
+        assert_eq!(h.falsely_shared_units(), 0);
+        assert!((h.mean_sharers() - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Molecule placements for Water-Spatial and Moldyn.
+//!
+//! Both molecular codes start from molecules filling a cubic box at liquid-like density:
+//! Water-Spatial initializes a perturbed cubic lattice of water molecules, Moldyn (like
+//! its CHARMM ancestor) an FCC-style lattice.  What matters for the reordering study is
+//! (a) near-uniform density, so every molecule has a similar number of neighbours inside
+//! the cutoff radius, and (b) a *shuffled* array order.  Both generators therefore
+//! produce a jittered cubic lattice and then shuffle the array.
+
+use rand::Rng;
+
+use crate::rng::{seeded_rng, shuffle_in_place};
+
+/// Generate `n` positions on a jittered cubic lattice filling a cube of side
+/// `box_side`, then shuffle them into random array order.
+///
+/// The lattice spacing is chosen so the cube holds at least `n` sites; surplus sites are
+/// dropped uniformly at random.  `jitter` is the displacement amplitude as a fraction of
+/// the lattice spacing (0 = perfect lattice, 0.5 = strongly disordered).
+///
+/// # Panics
+/// Panics if `n == 0`, `box_side` is not positive, or `jitter` is negative.
+pub fn cubic_lattice(n: usize, box_side: f64, jitter: f64, seed: u64) -> Vec<[f64; 3]> {
+    assert!(n > 0, "need at least one molecule");
+    assert!(box_side.is_finite() && box_side > 0.0, "box side must be positive");
+    assert!(jitter >= 0.0, "jitter must be non-negative");
+    let mut rng = seeded_rng(seed);
+    let per_side = (n as f64).cbrt().ceil() as usize;
+    let spacing = box_side / per_side as f64;
+    let mut sites = Vec::with_capacity(per_side * per_side * per_side);
+    for ix in 0..per_side {
+        for iy in 0..per_side {
+            for iz in 0..per_side {
+                let jx = rng.gen_range(-0.5..0.5) * jitter * spacing;
+                let jy = rng.gen_range(-0.5..0.5) * jitter * spacing;
+                let jz = rng.gen_range(-0.5..0.5) * jitter * spacing;
+                sites.push([
+                    (ix as f64 + 0.5) * spacing + jx,
+                    (iy as f64 + 0.5) * spacing + jy,
+                    (iz as f64 + 0.5) * spacing + jz,
+                ]);
+            }
+        }
+    }
+    // Shuffle and truncate to n: array order now carries no spatial information.
+    shuffle_in_place(&mut sites, &mut rng);
+    sites.truncate(n);
+    sites
+}
+
+/// Generate `n` positions uniformly at random inside a cube of side `box_side`
+/// (axis-aligned, corner at the origin).
+pub fn uniform_box(n: usize, box_side: f64, seed: u64) -> Vec<[f64; 3]> {
+    assert!(n > 0, "need at least one molecule");
+    assert!(box_side.is_finite() && box_side > 0.0, "box side must be positive");
+    let mut rng = seeded_rng(seed);
+    (0..n)
+        .map(|_| {
+            [
+                rng.gen_range(0.0..box_side),
+                rng.gen_range(0.0..box_side),
+                rng.gen_range(0.0..box_side),
+            ]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lattice_points_fill_the_box() {
+        let pts = cubic_lattice(1000, 10.0, 0.2, 4);
+        assert_eq!(pts.len(), 1000);
+        for p in &pts {
+            for d in 0..3 {
+                assert!(p[d] > -1.0 && p[d] < 11.0, "point {p:?} escaped the box");
+            }
+        }
+        // All three octant halves must be populated (i.e. the points are not clumped).
+        for d in 0..3 {
+            let low = pts.iter().filter(|p| p[d] < 5.0).count();
+            assert!(low > 300 && low < 700);
+        }
+    }
+
+    #[test]
+    fn lattice_is_deterministic_and_shuffled() {
+        let a = cubic_lattice(512, 8.0, 0.1, 9);
+        let b = cubic_lattice(512, 8.0, 0.1, 9);
+        assert_eq!(a, b);
+        // Consecutive array entries should usually not be lattice neighbours: measure
+        // the mean consecutive distance and compare with the lattice spacing (1.0).
+        let mean_step: f64 = a
+            .windows(2)
+            .map(|w| {
+                ((w[0][0] - w[1][0]).powi(2)
+                    + (w[0][1] - w[1][1]).powi(2)
+                    + (w[0][2] - w[1][2]).powi(2))
+                .sqrt()
+            })
+            .sum::<f64>()
+            / (a.len() - 1) as f64;
+        assert!(mean_step > 2.0, "shuffled order should hop across the box, step={mean_step}");
+    }
+
+    #[test]
+    fn zero_jitter_gives_distinct_lattice_sites() {
+        let pts = cubic_lattice(27, 3.0, 0.0, 1);
+        let mut sorted: Vec<_> = pts
+            .iter()
+            .map(|p| (format!("{:.3}", p[0]), format!("{:.3}", p[1]), format!("{:.3}", p[2])))
+            .collect();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 27, "perfect lattice sites must be distinct");
+    }
+
+    #[test]
+    fn uniform_box_stays_inside() {
+        let pts = uniform_box(256, 5.0, 3);
+        for p in &pts {
+            for d in 0..3 {
+                assert!(p[d] >= 0.0 && p[d] <= 5.0);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "box side must be positive")]
+    fn non_positive_box_panics() {
+        cubic_lattice(8, 0.0, 0.1, 0);
+    }
+}

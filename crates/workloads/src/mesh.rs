@@ -1,0 +1,241 @@
+//! Synthetic unstructured mesh, standing in for the Chaos `mesh.10k` input.
+//!
+//! The Unstructured benchmark (a simplified CFD solver) iterates over the **edges** and
+//! **faces** of a static unstructured mesh, reading and updating the two (or three)
+//! **nodes** each edge/face connects.  The input file used in the paper (`mesh.10k`,
+//! ≈10 000 nodes) is not available, so this generator produces a mesh with the same
+//! structural properties (see DESIGN.md):
+//!
+//! * nodes sample a 3-D domain with mild irregularity (jittered grid);
+//! * edges and faces connect only *physically adjacent* nodes (grid neighbours and cell
+//!   diagonals, giving node degrees in the 6–14 range typical of tetrahedral meshes);
+//! * the node array is stored in **shuffled order**, so array index carries no spatial
+//!   information — the property that makes the original benchmark suffer and data
+//!   reordering help.
+
+use crate::rng::{seeded_rng, shuffle_in_place};
+use rand::Rng;
+
+/// A static unstructured mesh: node coordinates plus edge and triangular-face
+/// connectivity, with all indices referring to the (shuffled) node array.
+#[derive(Debug, Clone)]
+pub struct UnstructuredMesh {
+    /// Node coordinates, in array (storage) order.
+    pub positions: Vec<[f64; 3]>,
+    /// Edges as pairs of node indices.
+    pub edges: Vec<(u32, u32)>,
+    /// Triangular faces as triples of node indices.
+    pub faces: Vec<[u32; 3]>,
+}
+
+impl UnstructuredMesh {
+    /// Generate a mesh over a `side × side × side` jittered grid of nodes (so
+    /// `side^3` nodes in total), shuffled into random storage order.
+    ///
+    /// `jitter` is the node displacement as a fraction of the grid spacing.
+    ///
+    /// # Panics
+    /// Panics if `side < 2` or `jitter` is negative.
+    pub fn generate(side: usize, jitter: f64, seed: u64) -> Self {
+        assert!(side >= 2, "need at least a 2x2x2 grid");
+        assert!(jitter >= 0.0, "jitter must be non-negative");
+        let n = side * side * side;
+        let mut rng = seeded_rng(seed);
+        let spacing = 1.0;
+        // Grid-ordered positions first.
+        let mut grid_positions = Vec::with_capacity(n);
+        for ix in 0..side {
+            for iy in 0..side {
+                for iz in 0..side {
+                    grid_positions.push([
+                        ix as f64 * spacing + rng.gen_range(-0.5..0.5) * jitter * spacing,
+                        iy as f64 * spacing + rng.gen_range(-0.5..0.5) * jitter * spacing,
+                        iz as f64 * spacing + rng.gen_range(-0.5..0.5) * jitter * spacing,
+                    ]);
+                }
+            }
+        }
+        let grid_index = |ix: usize, iy: usize, iz: usize| ix * side * side + iy * side + iz;
+
+        // Edges: the 3 axis neighbours of every node, plus one body diagonal per grid
+        // cell to break the purely structured topology (mimics tetrahedralization).
+        let mut grid_edges: Vec<(u32, u32)> = Vec::new();
+        for ix in 0..side {
+            for iy in 0..side {
+                for iz in 0..side {
+                    let a = grid_index(ix, iy, iz) as u32;
+                    if ix + 1 < side {
+                        grid_edges.push((a, grid_index(ix + 1, iy, iz) as u32));
+                    }
+                    if iy + 1 < side {
+                        grid_edges.push((a, grid_index(ix, iy + 1, iz) as u32));
+                    }
+                    if iz + 1 < side {
+                        grid_edges.push((a, grid_index(ix, iy, iz + 1) as u32));
+                    }
+                    if ix + 1 < side && iy + 1 < side && iz + 1 < side {
+                        grid_edges.push((a, grid_index(ix + 1, iy + 1, iz + 1) as u32));
+                    }
+                }
+            }
+        }
+
+        // Faces: two triangles per xy-face of each grid cell (a thin proxy for the
+        // benchmark's face loop; what matters is that faces connect adjacent nodes).
+        let mut grid_faces: Vec<[u32; 3]> = Vec::new();
+        for ix in 0..side - 1 {
+            for iy in 0..side - 1 {
+                for iz in 0..side {
+                    let a = grid_index(ix, iy, iz) as u32;
+                    let b = grid_index(ix + 1, iy, iz) as u32;
+                    let c = grid_index(ix, iy + 1, iz) as u32;
+                    let d = grid_index(ix + 1, iy + 1, iz) as u32;
+                    grid_faces.push([a, b, c]);
+                    grid_faces.push([b, d, c]);
+                }
+            }
+        }
+
+        // Shuffle the node storage order and remap connectivity.
+        let mut storage_of_grid: Vec<usize> = (0..n).collect();
+        shuffle_in_place(&mut storage_of_grid, &mut rng);
+        // storage_of_grid[g] = storage slot of grid node g.
+        let mut positions = vec![[0.0; 3]; n];
+        for (g, &slot) in storage_of_grid.iter().enumerate() {
+            positions[slot] = grid_positions[g];
+        }
+        let edges = grid_edges
+            .into_iter()
+            .map(|(a, b)| (storage_of_grid[a as usize] as u32, storage_of_grid[b as usize] as u32))
+            .collect();
+        let faces = grid_faces
+            .into_iter()
+            .map(|f| {
+                [
+                    storage_of_grid[f[0] as usize] as u32,
+                    storage_of_grid[f[1] as usize] as u32,
+                    storage_of_grid[f[2] as usize] as u32,
+                ]
+            })
+            .collect();
+        UnstructuredMesh { positions, edges, faces }
+    }
+
+    /// Generate a mesh with approximately `target_nodes` nodes (the side length is the
+    /// cube root, rounded).  `mesh.10k` → `with_approx_nodes(10_000, …)` gives a
+    /// 22³ = 10 648-node mesh.
+    pub fn with_approx_nodes(target_nodes: usize, jitter: f64, seed: u64) -> Self {
+        let side = ((target_nodes as f64).cbrt().round() as usize).max(2);
+        Self::generate(side, jitter, seed)
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Number of faces.
+    pub fn num_faces(&self) -> usize {
+        self.faces.len()
+    }
+
+    /// Euclidean length of edge `e`.
+    pub fn edge_length(&self, e: usize) -> f64 {
+        let (a, b) = self.edges[e];
+        let pa = self.positions[a as usize];
+        let pb = self.positions[b as usize];
+        ((pa[0] - pb[0]).powi(2) + (pa[1] - pb[1]).powi(2) + (pa[2] - pb[2]).powi(2)).sqrt()
+    }
+
+    /// The mean over edges of the absolute difference of endpoint array indices, as a
+    /// fraction of the node count.  Close to 1/3 for a random storage order, and small
+    /// after a locality-preserving reordering — a cheap scalar proxy for read locality.
+    pub fn mean_index_span(&self) -> f64 {
+        if self.edges.is_empty() {
+            return 0.0;
+        }
+        let n = self.num_nodes() as f64;
+        self.edges
+            .iter()
+            .map(|&(a, b)| (f64::from(a) - f64::from(b)).abs())
+            .sum::<f64>()
+            / self.edges.len() as f64
+            / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_has_expected_counts() {
+        let side = 8;
+        let m = UnstructuredMesh::generate(side, 0.2, 5);
+        assert_eq!(m.num_nodes(), side * side * side);
+        // Axis edges: 3 * side^2 * (side-1); diagonals: (side-1)^3.
+        let expected_edges = 3 * side * side * (side - 1) + (side - 1) * (side - 1) * (side - 1);
+        assert_eq!(m.num_edges(), expected_edges);
+        assert_eq!(m.num_faces(), 2 * (side - 1) * (side - 1) * side);
+    }
+
+    #[test]
+    fn approx_nodes_hits_the_ten_k_ballpark() {
+        let m = UnstructuredMesh::with_approx_nodes(10_000, 0.2, 1);
+        assert!(m.num_nodes() > 8_000 && m.num_nodes() < 13_000, "got {}", m.num_nodes());
+    }
+
+    #[test]
+    fn edges_connect_physically_adjacent_nodes() {
+        let m = UnstructuredMesh::generate(10, 0.3, 7);
+        for e in 0..m.num_edges() {
+            let len = m.edge_length(e);
+            assert!(len < 2.5, "edge {e} has length {len}, not a short-range connection");
+            assert!(len > 0.0);
+        }
+    }
+
+    #[test]
+    fn edge_indices_are_in_range_and_distinct() {
+        let m = UnstructuredMesh::generate(6, 0.2, 3);
+        let n = m.num_nodes() as u32;
+        for &(a, b) in &m.edges {
+            assert!(a < n && b < n);
+            assert_ne!(a, b);
+        }
+        for f in &m.faces {
+            assert!(f.iter().all(|&x| x < n));
+            assert_ne!(f[0], f[1]);
+            assert_ne!(f[1], f[2]);
+            assert_ne!(f[0], f[2]);
+        }
+    }
+
+    #[test]
+    fn storage_order_is_scrambled() {
+        let m = UnstructuredMesh::generate(10, 0.2, 11);
+        // For a random permutation the mean |i - j| over edges is ~n/3; for the original
+        // grid order it would be ~side^2/2 / n ≈ 5%.  Require at least 15%.
+        assert!(m.mean_index_span() > 0.15, "span = {}", m.mean_index_span());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = UnstructuredMesh::generate(5, 0.2, 99);
+        let b = UnstructuredMesh::generate(5, 0.2, 99);
+        assert_eq!(a.positions, b.positions);
+        assert_eq!(a.edges, b.edges);
+        assert_eq!(a.faces, b.faces);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least a 2x2x2 grid")]
+    fn tiny_mesh_panics() {
+        UnstructuredMesh::generate(1, 0.1, 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! Deterministic random number generation and shuffling.
+//!
+//! Every workload generator takes a `u64` seed and produces exactly the same input for
+//! the same seed, so every experiment in `EXPERIMENTS.md` is reproducible bit-for-bit.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Create the project-standard deterministic RNG from a seed.
+pub fn seeded_rng(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Fisher–Yates shuffle of a slice using the given RNG.
+///
+/// Used to destroy any accidental correlation between generation order and physical
+/// position — the "stored in random order" property the paper's problem statement rests
+/// on.
+pub fn shuffle_in_place<T, R: Rng>(items: &mut [T], rng: &mut R) {
+    let n = items.len();
+    if n <= 1 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        items.swap(i, j);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_sequence() {
+        let mut a = seeded_rng(42);
+        let mut b = seeded_rng(42);
+        let xs: Vec<u64> = (0..32).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..32).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = seeded_rng(1);
+        let mut b = seeded_rng(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = seeded_rng(7);
+        let mut v: Vec<usize> = (0..100).collect();
+        shuffle_in_place(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = seeded_rng(7);
+        let mut empty: Vec<u8> = vec![];
+        shuffle_in_place(&mut empty, &mut rng);
+        let mut one = vec![5u8];
+        shuffle_in_place(&mut one, &mut rng);
+        assert_eq!(one, vec![5]);
+    }
+}

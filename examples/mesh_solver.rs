@@ -1,0 +1,62 @@
+//! Unstructured-mesh solver: geometric versus connectivity-based reordering.
+//!
+//! Runs the Unstructured CFD kernel over the synthetic ~10k-node mesh with four node
+//! orderings — the original random order, column, Hilbert, and reverse Cuthill–McKee
+//! (a geometry-free ordering built from the mesh graph, provided as an extension) — and
+//! reports the mean edge index span, the DSM traffic of a traced sweep, and the
+//! wall-clock time of ten real parallel sweeps.
+//!
+//! Run with: `cargo run --release --example mesh_solver`
+
+use datareorder::dsm::{DsmConfig, TreadMarksSim};
+use datareorder::reorder::Method;
+use datareorder::unstructured::{Unstructured, UnstructuredParams};
+use std::time::Instant;
+
+fn edge_span(app: &Unstructured) -> f64 {
+    app.edges
+        .iter()
+        .map(|&(a, b)| (f64::from(a) - f64::from(b)).abs())
+        .sum::<f64>()
+        / app.edges.len() as f64
+}
+
+fn main() {
+    let target_nodes = 10_000;
+    println!("Unstructured mesh solver, ~{target_nodes} nodes (mesh.10k stand-in)\n");
+    println!(
+        "{:<10} {:>14} {:>14} {:>12} {:>12}",
+        "ordering", "edge span", "TMk messages", "TMk MB", "10 sweeps (s)"
+    );
+    for label in ["original", "column", "hilbert", "rcm"] {
+        let mut app = Unstructured::generated(target_nodes, 21, UnstructuredParams::default());
+        match label {
+            "column" => {
+                app.reorder(Method::Column);
+            }
+            "hilbert" => {
+                app.reorder(Method::Hilbert);
+            }
+            "rcm" => {
+                app.reorder_rcm();
+            }
+            _ => {}
+        }
+        let span = edge_span(&app);
+        let trace = app.trace_sweeps(1, 16);
+        let tmk = TreadMarksSim::new(DsmConfig::cluster(16)).run(&trace);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            app.sweep_parallel(rayon::current_num_threads());
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "{label:<10} {span:>14.1} {:>14} {:>12.2} {wall:>12.3}",
+            tmk.stats.messages,
+            tmk.stats.data_mbytes()
+        );
+    }
+    println!("\nAll three reorderings shrink the edge span and the DSM traffic relative to the");
+    println!("original random order; column is the paper's recommendation for this Category-2");
+    println!("application on page-based DSM, and RCM shows geometry is not strictly required.");
+}

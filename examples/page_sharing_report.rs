@@ -1,0 +1,91 @@
+//! Page-sharing report: a small diagnostic tool in the spirit of Figures 1, 2, 4 and 5.
+//!
+//! Pick an application and an ordering on the command line and get, for each page of
+//! the object array, the number of processors that write it during one traced
+//! iteration, plus the aggregate statistics the paper quotes.
+//!
+//! Usage: `cargo run --release --example page_sharing_report -- [barnes|fmm|water|moldyn|mesh] [original|hilbert|column] [procs]`
+
+use datareorder::memsim::page_sharing;
+use datareorder::molecular::{Moldyn, MoldynParams, WaterSpatial, WaterSpatialParams};
+use datareorder::nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
+use datareorder::reorder::Method;
+use datareorder::smtrace::{ObjectLayout, ProgramTrace};
+use datareorder::unstructured::{Unstructured, UnstructuredParams};
+
+fn build(app: &str, ordering: &str, procs: usize) -> (ProgramTrace, ObjectLayout) {
+    let method = match ordering {
+        "hilbert" => Some(Method::Hilbert),
+        "column" => Some(Method::Column),
+        "morton" => Some(Method::Morton),
+        "row" => Some(Method::Row),
+        _ => None,
+    };
+    match app {
+        "fmm" => {
+            let mut sim = Fmm::two_plummer(8_192, 5, FmmParams::default());
+            if let Some(m) = method {
+                sim.reorder(m);
+            }
+            (sim.trace_iterations(1, procs), sim.layout())
+        }
+        "water" => {
+            let mut sim = WaterSpatial::lattice(4_096, 5, WaterSpatialParams::default());
+            if let Some(m) = method {
+                sim.reorder(m);
+            }
+            (sim.trace_steps(1, procs), sim.layout())
+        }
+        "moldyn" => {
+            let mut sim = Moldyn::lattice(8_000, 5, MoldynParams::default());
+            if let Some(m) = method {
+                sim.reorder(m);
+            }
+            (sim.trace_steps(1, procs), sim.layout())
+        }
+        "mesh" => {
+            let mut sim = Unstructured::generated(10_000, 5, UnstructuredParams::default());
+            if let Some(m) = method {
+                sim.reorder(m);
+            }
+            (sim.trace_sweeps(1, procs), sim.layout())
+        }
+        _ => {
+            let mut sim = BarnesHut::two_plummer(16_384, 5, BarnesHutParams::default());
+            if let Some(m) = method {
+                sim.reorder(m);
+            }
+            (sim.trace_iterations(1, procs), sim.layout())
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(String::as_str).unwrap_or("barnes").to_string();
+    let ordering = args.get(2).map(String::as_str).unwrap_or("original").to_string();
+    let procs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+
+    let (trace, layout) = build(&app, &ordering, procs);
+    let report = page_sharing(&trace, &layout, 8 * 1024);
+    println!("application = {app}, ordering = {ordering}, processors = {procs}");
+    println!(
+        "pages = {}, mean sharers = {:.2}, mean writers = {:.2}, write-shared pages = {}, falsely shared = {}",
+        report.num_units,
+        report.mean_sharers(),
+        report.mean_writers(),
+        report.shared_units(),
+        report.falsely_shared_units,
+    );
+    // A compact histogram of writers per page.
+    let mut histogram = vec![0usize; procs + 1];
+    for &w in &report.writers {
+        histogram[(w as usize).min(procs)] += 1;
+    }
+    println!("\nwriters-per-page histogram:");
+    for (writers, count) in histogram.iter().enumerate() {
+        if *count > 0 {
+            println!("  {writers:>3} writers: {count:>5} pages  {}", "#".repeat((count * 60 / report.num_units.max(1)).max(1)));
+        }
+    }
+}
