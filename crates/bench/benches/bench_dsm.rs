@@ -11,23 +11,17 @@ fn bench_dsm(c: &mut Criterion) {
     let mut group = c.benchmark_group("dsm_protocols");
     group.sample_size(10);
     let config = DsmConfig::cluster(16);
-    for (label, ordering) in [
-        ("original", Ordering::Original),
-        ("column", Ordering::Reordered(Method::Column)),
-    ] {
+    for (label, ordering) in
+        [("original", Ordering::Original), ("column", Ordering::Reordered(Method::Column))]
+    {
         let run = build_run_sized(AppKind::Moldyn, ordering, 4_000, 2, 16, 5);
         group.bench_with_input(BenchmarkId::new("treadmarks_moldyn", label), &run, |b, run| {
             b.iter(|| {
-                TreadMarksSim::new(config)
-                    .run_with_layout(&run.trace, &run.layout)
-                    .stats
-                    .messages
+                TreadMarksSim::new(config).run_with_layout(&run.trace, &run.layout).stats.messages
             })
         });
         group.bench_with_input(BenchmarkId::new("hlrc_moldyn", label), &run, |b, run| {
-            b.iter(|| {
-                HlrcSim::new(config).run_with_layout(&run.trace, &run.layout).stats.messages
-            })
+            b.iter(|| HlrcSim::new(config).run_with_layout(&run.trace, &run.layout).stats.messages)
         });
     }
     group.finish();

@@ -7,16 +7,15 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use memsim::OriginPreset;
-use repro_bench::{build_run_sized, AppKind, Ordering};
 use reorder::Method;
+use repro_bench::{build_run_sized, AppKind, Ordering};
 
 fn bench_origin(c: &mut Criterion) {
     let mut group = c.benchmark_group("origin2000_simulation");
     group.sample_size(10);
-    for (label, ordering) in [
-        ("original", Ordering::Original),
-        ("hilbert", Ordering::Reordered(Method::Hilbert)),
-    ] {
+    for (label, ordering) in
+        [("original", Ordering::Original), ("hilbert", Ordering::Reordered(Method::Hilbert))]
+    {
         let run = build_run_sized(AppKind::BarnesHut, ordering, 4_096, 1, 16, 5);
         group.bench_with_input(BenchmarkId::new("barnes_hut_16p", label), &run, |b, run| {
             b.iter(|| {

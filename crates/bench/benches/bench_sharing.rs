@@ -10,10 +10,9 @@ use repro_bench::{build_run_sized, AppKind, Ordering};
 fn bench_sharing(c: &mut Criterion) {
     let mut group = c.benchmark_group("page_sharing_analysis");
     group.sample_size(10);
-    for (label, ordering) in [
-        ("original", Ordering::Original),
-        ("hilbert", Ordering::Reordered(Method::Hilbert)),
-    ] {
+    for (label, ordering) in
+        [("original", Ordering::Original), ("hilbert", Ordering::Reordered(Method::Hilbert))]
+    {
         let run = build_run_sized(AppKind::BarnesHut, ordering, 8_192, 1, 16, 7);
         group.bench_with_input(BenchmarkId::new("barnes_hut_8k_pages", label), &run, |b, run| {
             b.iter(|| page_sharing(&run.trace, &run.layout, 8 * 1024).mean_writers())

@@ -1,55 +1,6 @@
-//! Ablation (DESIGN.md §7): how often does the data reordering have to be repeated as
-//! the simulation evolves?
-//!
-//! The paper reorders once, during initialization, and notes that the reordering
-//! functions "can be called by a single processor as often as necessary".  Objects move
-//! over time, so the locality of the initial ordering slowly decays.  This ablation
-//! runs Barnes-Hut for a number of time steps, reordering every `k` steps for several
-//! values of `k` (including never and every step), and reports the mean writers-per-page
-//! sharing metric of the *last* iteration plus the cumulative reordering cost.
-
-use memsim::page_sharing;
-use nbody::{BarnesHut, BarnesHutParams};
-use reorder::Method;
-use repro_bench::{fmt_f, print_table, Scale};
-use std::time::Instant;
-
+//! Legacy entry point kept for compatibility: delegates to the `ablation_reorder_frequency` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp ablation reorder-frequency`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let n = if scale == Scale::Paper { 32_768 } else { 8_192 };
-    let steps = 8;
-    let procs = 16;
-    let mut rows = Vec::new();
-    for &period in &[0usize, 1, 2, 4, 8] {
-        // period 0 = never reorder; otherwise reorder before step i when i % period == 0.
-        let mut sim = BarnesHut::two_plummer(n, 17, BarnesHutParams::default());
-        let mut reorder_cost = 0.0;
-        for step in 0..steps {
-            if period != 0 && step % period == 0 {
-                let t0 = Instant::now();
-                sim.reorder(Method::Hilbert);
-                reorder_cost += t0.elapsed().as_secs_f64();
-            }
-            sim.step_parallel(rayon::current_num_threads());
-        }
-        // Measure the sharing of one final traced iteration.
-        let trace = sim.trace_iterations(1, procs);
-        let sharing = page_sharing(&trace, &sim.layout(), 8 * 1024);
-        let label = if period == 0 { "never".to_string() } else { format!("every {period}") };
-        rows.push(vec![
-            label,
-            fmt_f(sharing.mean_writers()),
-            fmt_f(sharing.mean_sharers()),
-            fmt_f(reorder_cost),
-        ]);
-    }
-    print_table(
-        &format!("Ablation: reordering frequency over {steps} Barnes-Hut steps ({n} bodies, {procs} virtual processors)"),
-        &["Reorder", "Mean writers/page (final iter)", "Mean sharers/page", "Total reorder cost (s)"],
-        &rows,
-    );
-    println!("\nExpected shape: a single initial reordering retains most of its benefit over this");
-    println!("horizon (bodies drift slowly relative to the page granularity), so the paper's");
-    println!("reorder-once-at-initialization recipe is sound; re-reordering every step buys little");
-    println!("extra locality for proportionally more reordering time.");
+    repro_bench::experiments::print_legacy("ablation_reorder_frequency");
 }

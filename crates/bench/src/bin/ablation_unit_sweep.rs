@@ -1,54 +1,6 @@
-//! Ablation (DESIGN.md §7): sweep the consistency-unit size and locate the crossover
-//! between Hilbert and column ordering for a Category-2 application.
-//!
-//! The paper's guideline is qualitative: column ordering wins when the consistency unit
-//! is large (pages, software DSM), Hilbert when it is small (cache lines, hardware).
-//! This ablation quantifies where the crossover sits for Moldyn by running the
-//! TreadMarks protocol simulator at unit sizes from 128 bytes to 16 KB under both
-//! orderings and reporting messages and data volume.
-
-use dsm::{DsmConfig, TreadMarksSim};
-use molecular::{Moldyn, MoldynParams};
-use reorder::Method;
-use repro_bench::{fmt_f, print_table, Scale};
-
+//! Legacy entry point kept for compatibility: delegates to the `ablation_unit_sweep` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp ablation unit-sweep`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let n = if scale == Scale::Paper { 32_000 } else { 6_000 };
-    let procs = 16;
-    let mut traces = Vec::new();
-    for method in [Method::Hilbert, Method::Column] {
-        let mut sim = Moldyn::lattice(n, 31, MoldynParams::default());
-        sim.reorder(method);
-        traces.push((method, sim.trace_steps(2, procs), sim.layout()));
-    }
-    let mut rows = Vec::new();
-    for &unit in &[128usize, 512, 1024, 4096, 8192, 16384] {
-        let mut cells = vec![format!("{unit} B")];
-        let mut message_counts = Vec::new();
-        for (_, trace, layout) in &traces {
-            let sim = TreadMarksSim::new(DsmConfig::new(unit, procs));
-            let r = sim.run_with_layout(trace, layout);
-            message_counts.push(r.stats.messages);
-            cells.push(format!("{}", r.stats.messages));
-            cells.push(fmt_f(r.stats.data_mbytes()));
-        }
-        cells.push(if message_counts[0] <= message_counts[1] { "hilbert" } else { "column" }.to_string());
-        rows.push(cells);
-    }
-    print_table(
-        &format!("Ablation: consistency-unit-size sweep, Moldyn ({n} molecules, {procs} processors, TreadMarks-model messages/data)"),
-        &[
-            "Unit size",
-            "Hilbert msgs",
-            "Hilbert MB",
-            "Column msgs",
-            "Column MB",
-            "Fewer messages",
-        ],
-        &rows,
-    );
-    println!("\nExpected shape: Hilbert produces less traffic at small units (cache-line scale),");
-    println!("column at large units (page scale); the crossover sits between a few hundred bytes");
-    println!("and a few kilobytes, consistent with the paper's platform-dependent recommendation.");
+    repro_bench::experiments::print_legacy("ablation_unit_sweep");
 }

@@ -1,50 +1,6 @@
-//! Figures 1 and 4 — which of the four 4 KB pages each of the four processors updates
-//! in the 168-particle Barnes-Hut example, before (Figure 1) and after (Figure 4)
-//! Hilbert reordering of the particle array.
-//!
-//! The paper's figures show that with the original random particle order every
-//! processor scatters its updates over all four pages, while after Hilbert reordering
-//! each processor's updates are confined to (essentially) its own page.
-
-use memsim::page_update_map;
-use reorder::Method;
-use repro_bench::{build_run_sized, print_table, AppKind, Ordering};
-
-const PARTICLES: usize = 168;
-const PAGE_BYTES: usize = 4096;
-const PROCS: usize = 4;
-
-fn report(label: &str, ordering: Ordering) -> Vec<Vec<String>> {
-    let run = build_run_sized(AppKind::BarnesHut, ordering, PARTICLES, 1, PROCS, 42);
-    let map = page_update_map(&run.trace, &run.layout, PAGE_BYTES);
-    let num_pages = run.layout.num_units(PAGE_BYTES);
-    map.iter()
-        .enumerate()
-        .map(|(p, pages)| {
-            let marks: String = (0..num_pages)
-                .map(|pg| if pages.contains(&pg) { 'X' } else { '.' })
-                .collect();
-            vec![
-                label.to_string(),
-                format!("P{p}"),
-                marks,
-                format!("{}", pages.len()),
-            ]
-        })
-        .collect()
-}
-
+//! Legacy entry point kept for compatibility: delegates to the `fig01_04` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 1`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let mut rows = report("Figure 1 (original)", Ordering::Original);
-    rows.extend(report("Figure 4 (hilbert)", Ordering::Reordered(Method::Hilbert)));
-    print_table(
-        "Figures 1 & 4: pages updated by each of 4 processors, 168 particles, 4 KB pages",
-        &["Figure", "Processor", "Pages updated (X = writes on that page)", "#pages"],
-        &rows,
-    );
-    println!(
-        "\nExpected shape: the original order touches all {} pages from every processor;",
-        168 * 96 / 4096 + 1
-    );
-    println!("after Hilbert reordering each processor's writes collapse onto 1-2 pages.");
+    repro_bench::experiments::print_legacy("fig01_04");
 }

@@ -1,62 +1,6 @@
-//! Figures 2 and 5 — the number of processors sharing each page of the Barnes-Hut
-//! particle array, for 2–16 processors, before (Figure 2) and after (Figure 5) Hilbert
-//! reordering.
-//!
-//! The paper's headline number: on 16 processors the average number of processors
-//! sharing a page drops from 9.5 to 3 after reordering.  This binary prints the mean
-//! and a coarse histogram per processor count; the per-page series can be dumped with
-//! `REPRO_DUMP_PAGES=1` for plotting.
-
-use memsim::page_sharing;
-use reorder::Method;
-use repro_bench::{build_run_sized, fmt_f, print_table, AppKind, Ordering, Scale};
-
+//! Legacy entry point kept for compatibility: delegates to the `fig02_05` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 2`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    // The paper uses 32 768 bodies on 8 KB pages (384 pages of 96-byte records).
-    let bodies = if scale == Scale::Paper { 32_768 } else { 8_192 };
-    let page_bytes = 8 * 1024;
-    let dump = std::env::var("REPRO_DUMP_PAGES").map(|v| v == "1").unwrap_or(false);
-
-    let mut rows = Vec::new();
-    for &procs in &[2usize, 4, 8, 16] {
-        for (label, ordering) in [
-            ("original", Ordering::Original),
-            ("hilbert", Ordering::Reordered(Method::Hilbert)),
-        ] {
-            let run = build_run_sized(AppKind::BarnesHut, ordering, bodies, 1, procs, 7);
-            let report = page_sharing(&run.trace, &run.layout, page_bytes);
-            let max = report.sharers.iter().copied().max().unwrap_or(0);
-            rows.push(vec![
-                format!("P={procs}"),
-                label.to_string(),
-                format!("{}", report.num_units),
-                fmt_f(report.mean_sharers()),
-                fmt_f(report.mean_writers()),
-                format!("{max}"),
-                format!("{}", report.falsely_shared_units),
-            ]);
-            if dump {
-                println!("# pages P={procs} {label}: {:?}", report.sharers);
-            }
-        }
-    }
-    print_table(
-        &format!(
-            "Figures 2 & 5: processors sharing each page of the particle array ({bodies} bodies, 8 KB pages)"
-        ),
-        &[
-            "Processors",
-            "Ordering",
-            "Pages",
-            "Mean sharers",
-            "Mean writers",
-            "Max sharers",
-            "Falsely shared pages",
-        ],
-        &rows,
-    );
-    println!("\nExpected shape (paper, 32K bodies): original order ≈ 9.5 mean sharers at P=16,");
-    println!("Hilbert-reordered ≈ 3; at smaller problem/processor scales the gap narrows but the");
-    println!("ordering of the two curves is preserved.");
+    repro_bench::experiments::print_legacy("fig02_05");
 }

@@ -1,28 +1,6 @@
-//! Figure 3 — illustration of the four data-reordering methods (Morton, Hilbert,
-//! column-major, row-major) on a small 2-D grid.
-//!
-//! For each method the binary prints the visiting rank of every cell of an 8×8 grid;
-//! reading the numbers in order traces the curve of the paper's figure.
-
-use reorder::{compute_reordering_from_points, Method};
-
-const SIDE: usize = 8;
-
+//! Legacy entry point kept for compatibility: delegates to the `fig03` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 3`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let points: Vec<[f64; 2]> = (0..SIDE * SIDE)
-        .map(|i| [(i % SIDE) as f64, (i / SIDE) as f64])
-        .collect();
-    for method in Method::ALL {
-        let reordering = compute_reordering_from_points(method, &points);
-        println!("\n=== Figure 3: {} ordering of an {SIDE}x{SIDE} grid ===", method.name());
-        // rank_of(cell) = position along the curve.
-        for y in (0..SIDE).rev() {
-            let row: Vec<String> = (0..SIDE)
-                .map(|x| format!("{:3}", reordering.rank_of(y * SIDE + x)))
-                .collect();
-            println!("  {}", row.join(" "));
-        }
-    }
-    println!("\nHilbert visits only edge-adjacent cells; Morton makes occasional jumps;");
-    println!("column-major sweeps x-slabs; row-major sweeps y-slabs.");
+    repro_bench::experiments::print_legacy("fig03");
 }

@@ -1,78 +1,6 @@
-//! Figure 6 — why column ordering beats Hilbert ordering for block-partitioned
-//! (Category 2) applications on page-based software DSM.
-//!
-//! The paper's argument: with a block partition of the (reordered) molecule array,
-//! the molecules on a processor's interaction list that belong to *other* processors
-//! sit on fewer remote pages — and on pages owned by fewer distinct processors — under
-//! column (slab) ordering than under Hilbert (cube) ordering, because a slab has only
-//! two neighbours.  With small consistency units (cache lines) the larger surface area
-//! of the slab reverses the conclusion.
-//!
-//! This binary quantifies exactly that for Moldyn: for each ordering and each
-//! consistency-unit size, the average number of remote units and of distinct remote
-//! owners a processor's interaction list touches.
-
-use molecular::{Moldyn, MoldynParams};
-use reorder::Method;
-use repro_bench::{fmt_f, print_table, Scale};
-use smtrace::ObjectLayout;
-use std::collections::BTreeSet;
-
-fn remote_stats(sim: &Moldyn, procs: usize, unit_bytes: usize) -> (f64, f64) {
-    let layout = ObjectLayout::new(sim.num_molecules(), molecular::moldyn::MOLECULE_BYTES);
-    let n = sim.num_molecules();
-    let mut total_units = 0usize;
-    let mut total_owners = 0usize;
-    for p in 0..procs {
-        let mut remote_units = BTreeSet::new();
-        let mut remote_owners = BTreeSet::new();
-        for &(i, j) in &sim.pairs {
-            let (i, j) = (i as usize, j as usize);
-            let oi = i * procs / n;
-            let oj = j * procs / n;
-            // Partner molecules of processor p's pairs that belong to someone else.
-            if oi == p && oj != p {
-                remote_units.insert(layout.unit_of(j, unit_bytes));
-                remote_owners.insert(oj);
-            }
-            if oj == p && oi != p {
-                remote_units.insert(layout.unit_of(i, unit_bytes));
-                remote_owners.insert(oi);
-            }
-        }
-        total_units += remote_units.len();
-        total_owners += remote_owners.len();
-    }
-    (total_units as f64 / procs as f64, total_owners as f64 / procs as f64)
-}
-
+//! Legacy entry point kept for compatibility: delegates to the `fig06` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 6`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let n = if scale == Scale::Paper { 32_000 } else { 8_000 };
-    let procs = 16;
-    let mut rows = Vec::new();
-    for (label, method) in [("hilbert", Some(Method::Hilbert)), ("column", Some(Method::Column)), ("original", None)]
-    {
-        let mut sim = Moldyn::lattice(n, 11, MoldynParams::default());
-        if let Some(m) = method {
-            sim.reorder(m);
-        }
-        for &(unit_label, unit_bytes) in &[("4 KB page", 4096usize), ("128 B line", 128)] {
-            let (units, owners) = remote_stats(&sim, procs, unit_bytes);
-            rows.push(vec![
-                label.to_string(),
-                unit_label.to_string(),
-                fmt_f(units),
-                fmt_f(owners),
-            ]);
-        }
-    }
-    print_table(
-        &format!("Figure 6: remote consistency units touched by a processor's interaction list (Moldyn, {n} molecules, {procs} processors)"),
-        &["Ordering", "Consistency unit", "Mean remote units / proc", "Mean remote owners / proc"],
-        &rows,
-    );
-    println!("\nExpected shape: with 4 KB pages, column ordering touches fewer remote pages and");
-    println!("fewer distinct owners than Hilbert; with 128-byte lines the ranking flips because");
-    println!("the slab's larger surface spreads the boundary over more lines.");
+    repro_bench::experiments::print_legacy("fig06");
 }

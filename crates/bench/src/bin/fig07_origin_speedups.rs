@@ -1,55 +1,6 @@
-//! Figure 7 — speedups of the original, Hilbert-reordered and column-reordered versions
-//! of the five benchmarks on 16 processors of the (simulated) Origin 2000.
-//!
-//! Speedup is the cost-model execution time of the single-processor original version
-//! divided by the 16-processor time of each version, exactly as the paper computes it
-//! (reordering time is charged to the reordered versions).
-
-use memsim::{CostModel, OriginPreset};
-use reorder::Method;
-use repro_bench::{build_run, fmt_f, print_table, AppKind, Ordering, Scale};
-
+//! Legacy entry point kept for compatibility: delegates to the `fig07` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 7`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let cost = CostModel::default();
-    let procs = 16;
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        // Sequential baseline: the original version on one processor.
-        let seq_run = build_run(app, Ordering::Original, scale, 1, 321);
-        let seq_time = {
-            let mut machine = OriginPreset::origin2000(1).build_machine();
-            let r = machine.run_trace_with_layout(&seq_run.trace, &seq_run.layout);
-            cost.machine_time(&r)
-        };
-        let mut orderings = vec![Ordering::Original, Ordering::Reordered(Method::Hilbert)];
-        if app.is_category2() {
-            orderings.push(Ordering::Reordered(Method::Column));
-        }
-        let mut cells = vec![app.name().to_string()];
-        for ordering in [
-            Ordering::Original,
-            Ordering::Reordered(Method::Hilbert),
-            Ordering::Reordered(Method::Column),
-        ] {
-            if !orderings.contains(&ordering) {
-                cells.push("-".to_string());
-                continue;
-            }
-            let run = build_run(app, ordering, scale, procs, 321);
-            let mut machine = OriginPreset::origin2000(procs).build_machine();
-            let r = machine.run_trace_with_layout(&run.trace, &run.layout);
-            let par_time = cost.machine_time(&r) + run.reorder_seconds;
-            cells.push(fmt_f(seq_time / par_time));
-        }
-        rows.push(cells);
-    }
-    print_table(
-        "Figure 7: Origin 2000 model speedups on 16 processors",
-        &["Application", "Original", "Hilbert", "Column"],
-        &rows,
-    );
-    println!("\nExpected shape (paper): every application except Water-Spatial speeds up with");
-    println!("reordering (12%-99% better than original); for Moldyn and Unstructured the Hilbert");
-    println!("ordering beats column ordering on the cache-line-grained hardware model.");
+    repro_bench::experiments::print_legacy("fig07");
 }

@@ -1,58 +1,6 @@
-//! Figures 8 and 9 — speedups of the original and reordered versions of the five
-//! benchmarks on 16 processors under TreadMarks (Figure 8) and HLRC (Figure 9).
-//!
-//! The reordered version uses the paper's recommended method per application: Hilbert
-//! for the Category-1 applications (Barnes-Hut, FMM, Water-Spatial), column for the
-//! Category-2 applications (Moldyn, Unstructured).  Speedup is the cost-model
-//! sequential time divided by the estimated parallel time, with the reordering cost
-//! charged to the reordered versions.
-
-use dsm::{DsmConfig, HlrcSim, NetworkCostModel, TreadMarksSim};
-use repro_bench::{build_run, fmt_f, print_table, AppKind, Ordering, Scale};
-
+//! Legacy entry point kept for compatibility: delegates to the `fig08_09` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp fig 8`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let procs = 16;
-    let config = DsmConfig::cluster(procs);
-    let cost = NetworkCostModel::default();
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        let mut cells = vec![app.name().to_string()];
-        for ordering in [Ordering::Original, Ordering::Reordered(app.dsm_reordering())] {
-            let run = build_run(app, ordering, scale, procs, 55);
-            let tmk = TreadMarksSim::new(config).run_with_layout(&run.trace, &run.layout);
-            let hlrc = HlrcSim::new(config).run_with_layout(&run.trace, &run.layout);
-            let tmk_est = cost.estimate(&tmk);
-            let hlrc_est = cost.estimate(&hlrc);
-            let tmk_speedup =
-                tmk_est.sequential_seconds / (tmk_est.parallel_seconds + run.reorder_seconds);
-            let hlrc_speedup =
-                hlrc_est.sequential_seconds / (hlrc_est.parallel_seconds + run.reorder_seconds);
-            cells.push(fmt_f(tmk_speedup));
-            cells.push(fmt_f(hlrc_speedup));
-        }
-        // Improvement columns.
-        let orig_tmk: f64 = cells[1].parse().unwrap_or(0.0);
-        let reord_tmk: f64 = cells[3].parse().unwrap_or(0.0);
-        let orig_hlrc: f64 = cells[2].parse().unwrap_or(0.0);
-        let reord_hlrc: f64 = cells[4].parse().unwrap_or(0.0);
-        cells.push(format!("{:+.0}%", (reord_tmk / orig_tmk - 1.0) * 100.0));
-        cells.push(format!("{:+.0}%", (reord_hlrc / orig_hlrc - 1.0) * 100.0));
-        rows.push(cells);
-    }
-    print_table(
-        "Figures 8 & 9: software DSM model speedups on 16 processors (reordered = paper's recommended method)",
-        &[
-            "Application",
-            "TMk original",
-            "HLRC original",
-            "TMk reordered",
-            "HLRC reordered",
-            "TMk gain",
-            "HLRC gain",
-        ],
-        &rows,
-    );
-    println!("\nExpected shape (paper): every application improves; TreadMarks improves more than");
-    println!("HLRC (30-366% vs 14-269%); Moldyn benefits the least and FMM the most.");
+    repro_bench::experiments::print_legacy("fig08_09");
 }

@@ -1,45 +1,6 @@
-//! Table 1 — applications, input data sets, synchronization and data object sizes.
-//!
-//! Prints the characteristics of the five benchmarks as configured in this repository,
-//! next to the values the paper lists, so any scaling applied by `REPRO_FULL` is visible.
-
-use repro_bench::{print_table, AppKind, Scale};
-
+//! Legacy entry point kept for compatibility: delegates to the `table1` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp table 1`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let paper = [
-        (AppKind::BarnesHut, "65536, 6 iter", "b", 104usize),
-        (AppKind::Fmm, "65536, 3 iter", "b,l", 104),
-        (AppKind::WaterSpatial, "32768, 10 iter", "b,l", 680),
-        (AppKind::Moldyn, "32000, 40 iter", "b", 72),
-        (AppKind::Unstructured, "mesh.10k, 40 iter", "b,l", 32),
-    ];
-    let rows: Vec<Vec<String>> = paper
-        .iter()
-        .map(|&(app, paper_size, sync, obj)| {
-            vec![
-                app.name().to_string(),
-                paper_size.to_string(),
-                format!("{} objects", scale.size_of(app)),
-                format!("{} iter", scale.iterations_of(app)),
-                sync.to_string(),
-                format!("{obj}"),
-                if app.is_category2() { "2".to_string() } else { "1".to_string() },
-            ]
-        })
-        .collect();
-    print_table(
-        "Table 1: applications, inputs, synchronization (b=barrier, l=lock), object sizes",
-        &[
-            "Application",
-            "Paper size/iter",
-            "This run size",
-            "This run iter",
-            "Sync",
-            "Object bytes",
-            "Category",
-        ],
-        &rows,
-    );
-    println!("\nScale: {scale:?} (set REPRO_FULL=1 for the paper's sizes)");
+    repro_bench::experiments::print_legacy("table1");
 }

@@ -1,68 +1,6 @@
-//! Table 2 — execution time, cost of reordering, L2 cache misses and TLB misses for
-//! every benchmark on 1 and 16 processors of the (simulated) Origin 2000.
-//!
-//! The misses come from the `memsim` trace-driven cache/TLB simulator configured with
-//! the Origin 2000 parameters (8 MB two-way L2 with 128-byte lines, 64-entry TLB over
-//! 16 KB pages); times come from its cost model.  Absolute values differ from the
-//! paper's hardware counters; the comparisons that must hold are listed at the end of
-//! the output and checked in EXPERIMENTS.md.
-
-use memsim::{CostModel, OriginPreset};
-use reorder::Method;
-use repro_bench::{build_run, fmt_f, print_table, AppKind, Ordering, Scale};
-
-fn orderings_for(app: AppKind) -> Vec<Ordering> {
-    if app.is_category2() {
-        vec![
-            Ordering::Original,
-            Ordering::Reordered(Method::Hilbert),
-            Ordering::Reordered(Method::Column),
-        ]
-    } else {
-        vec![Ordering::Original, Ordering::Reordered(Method::Hilbert)]
-    }
-}
-
+//! Legacy entry point kept for compatibility: delegates to the `table2` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp table 2`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let cost = CostModel::default();
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        for ordering in orderings_for(app) {
-            let mut cells = vec![app.name().to_string(), ordering.name()];
-            let mut reorder_cost = 0.0;
-            for &procs in &[1usize, 16] {
-                let run = build_run(app, ordering, scale, procs, 123);
-                reorder_cost = run.reorder_seconds.max(reorder_cost);
-                let preset = OriginPreset::origin2000(procs);
-                let mut machine = preset.build_machine();
-                let result = machine.run_trace_with_layout(&run.trace, &run.layout);
-                let time = cost.machine_time(&result);
-                cells.push(fmt_f(time));
-                cells.push(format!("{}", result.l2_misses()));
-                cells.push(format!("{}", result.tlb_misses()));
-            }
-            cells.insert(2, fmt_f(reorder_cost));
-            rows.push(cells);
-        }
-    }
-    print_table(
-        "Table 2: Origin 2000 model — time (s), reorder cost (s), L2 and TLB misses on 1 and 16 processors",
-        &[
-            "Application",
-            "Version",
-            "Reorder (s)",
-            "1P time (s)",
-            "1P L2 misses",
-            "1P TLB misses",
-            "16P time (s)",
-            "16P L2 misses",
-            "16P TLB misses",
-        ],
-        &rows,
-    );
-    println!("\nExpected shapes (paper): reordering cuts TLB misses by ~an order of magnitude for");
-    println!("Barnes-Hut and FMM on 1 processor; 16-processor L2 misses drop ~2x for the improved");
-    println!("apps; Water-Spatial is essentially unchanged because its 680-byte object exceeds the");
-    println!("128-byte L2 line; for Moldyn/Unstructured, Hilbert beats column at cache-line grain.");
+    repro_bench::experiments::print_legacy("table2");
 }

@@ -1,73 +1,6 @@
-//! Table 3 — sequential time, parallel time, reordering cost, data volume and message
-//! count for the original and reordered versions of every benchmark on TreadMarks and
-//! HLRC (16 processors, 4 KB pages).
-//!
-//! Message and data counts come from the `dsm` protocol simulators; times come from the
-//! network cost model with the paper's measured latencies.  Category-2 applications
-//! (Moldyn, Unstructured) are reported with both column and Hilbert ordering, as in the
-//! paper; Category-1 applications use Hilbert.
-
-use dsm::{DsmConfig, HlrcSim, NetworkCostModel, TreadMarksSim};
-use reorder::Method;
-use repro_bench::{build_run, fmt_f, print_table, AppKind, Ordering, Scale};
-
-fn orderings_for(app: AppKind) -> Vec<Ordering> {
-    if app.is_category2() {
-        vec![
-            Ordering::Original,
-            Ordering::Reordered(Method::Column),
-            Ordering::Reordered(Method::Hilbert),
-        ]
-    } else {
-        vec![Ordering::Original, Ordering::Reordered(Method::Hilbert)]
-    }
-}
-
+//! Legacy entry point kept for compatibility: delegates to the `table3` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp table 3`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let procs = 16;
-    let config = DsmConfig::cluster(procs);
-    let cost = NetworkCostModel::default();
-    let mut rows = Vec::new();
-    for app in AppKind::ALL {
-        for ordering in orderings_for(app) {
-            let run = build_run(app, ordering, scale, procs, 99);
-            let tmk = TreadMarksSim::new(config).run_with_layout(&run.trace, &run.layout);
-            let hlrc = HlrcSim::new(config).run_with_layout(&run.trace, &run.layout);
-            let tmk_est = cost.estimate(&tmk);
-            let hlrc_est = cost.estimate(&hlrc);
-            rows.push(vec![
-                app.name().to_string(),
-                ordering.name(),
-                fmt_f(tmk_est.sequential_seconds),
-                fmt_f(run.reorder_seconds),
-                fmt_f(tmk_est.parallel_seconds),
-                fmt_f(tmk.stats.data_mbytes()),
-                format!("{}", tmk.stats.messages),
-                fmt_f(hlrc_est.parallel_seconds),
-                fmt_f(hlrc.stats.data_mbytes()),
-                format!("{}", hlrc.stats.messages),
-            ]);
-        }
-    }
-    print_table(
-        "Table 3: software DSM model — times (s), data (MB) and messages on 16 processors",
-        &[
-            "Application",
-            "Version",
-            "Seq time (s)",
-            "Reorder (s)",
-            "TMk time (s)",
-            "TMk data (MB)",
-            "TMk messages",
-            "HLRC time (s)",
-            "HLRC data (MB)",
-            "HLRC messages",
-        ],
-        &rows,
-    );
-    println!("\nExpected shapes (paper): reordering reduces TreadMarks data ~2-3.7x and messages");
-    println!("up to ~12x; HLRC data ~1.2-5x and messages ~1.4-3.5x; for Moldyn and Unstructured,");
-    println!("column ordering sends less data and fewer messages than Hilbert on the page-based");
-    println!("protocols; TreadMarks sends more messages than HLRC for the same sharing.");
+    repro_bench::experiments::print_legacy("table3");
 }

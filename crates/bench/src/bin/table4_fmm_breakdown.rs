@@ -1,73 +1,6 @@
-//! Table 4 — breakdown of FMM execution time by phase on TreadMarks, original versus
-//! Hilbert-reordered.
-//!
-//! The traced FMM emits one synchronization interval per phase (tree build, upward
-//! pass, evaluation, update), so the DSM cost model can attribute communication time to
-//! phases; the remaining rows of the paper's table (list construction, partitioning)
-//! are compute-only and are reported from the wall-clock phase breakdown of a real run.
-
-use dsm::{DsmConfig, NetworkCostModel, PageWriteHistory, TreadMarksSim};
-use nbody::{Fmm, FmmParams};
-use reorder::Method;
-use repro_bench::{fmt_f, print_table, Scale};
-
-/// Phase labels for the traced intervals of one FMM iteration (see `Fmm::step_traced`).
-const INTERVAL_PHASES: [&str; 4] = ["Build tree", "Tree traversal (P2M)", "Inter/Intra particle", "Other (update)"];
-
-fn phase_costs(n: usize, reorder: bool, procs: usize) -> Vec<(String, f64)> {
-    let mut sim = Fmm::two_plummer(n, 77, FmmParams::default());
-    if reorder {
-        sim.reorder(Method::Hilbert);
-    }
-    let trace = sim.trace_iterations(1, procs);
-    let config = DsmConfig::cluster(procs);
-    let cost = NetworkCostModel::default();
-    let tmk = TreadMarksSim::new(config);
-    let mut out = Vec::new();
-    // Simulate each interval separately so its communication cost is attributed to its
-    // phase.  (The protocol state is rebuilt per interval; this slightly over-counts
-    // cold fetches per phase but identically for both versions.)
-    for (idx, phase) in INTERVAL_PHASES.iter().enumerate() {
-        if idx >= trace.intervals.len() {
-            break;
-        }
-        let mut sub = trace.clone();
-        sub.intervals = trace.intervals[..=idx].to_vec();
-        let history = PageWriteHistory::build(&sub, &trace.layout, config.page_bytes);
-        let result = tmk.run_history(&history);
-        let est = cost.estimate(&result);
-        out.push((phase.to_string(), est.parallel_seconds));
-    }
-    // Convert cumulative estimates into per-phase increments.
-    for i in (1..out.len()).rev() {
-        out[i].1 -= out[i - 1].1;
-        out[i].1 = out[i].1.max(0.0);
-    }
-    out
-}
-
+//! Legacy entry point kept for compatibility: delegates to the `table4` experiment spec
+//! (`repro_bench::experiments`).  Prefer the unified CLI: `xp table 4`
+//! (add `--format json|csv`, `--out`, `--scale paper`).
 fn main() {
-    let scale = Scale::from_env();
-    let n = if scale == Scale::Paper { 16_384 } else { 4_096 };
-    let procs = 16;
-    let original = phase_costs(n, false, procs);
-    let reordered = phase_costs(n, true, procs);
-    let mut rows: Vec<Vec<String>> = original
-        .iter()
-        .zip(&reordered)
-        .map(|((phase, orig), (_, reord))| {
-            vec![phase.clone(), fmt_f(*orig), fmt_f(*reord)]
-        })
-        .collect();
-    let total_orig: f64 = original.iter().map(|(_, t)| t).sum();
-    let total_reord: f64 = reordered.iter().map(|(_, t)| t).sum();
-    rows.push(vec!["Total".to_string(), fmt_f(total_orig), fmt_f(total_reord)]);
-    print_table(
-        &format!("Table 4: FMM phase breakdown on the TreadMarks model ({n} bodies, {procs} processors, estimated seconds)"),
-        &["Phase", "Original", "Reordered"],
-        &rows,
-    );
-    println!("\nExpected shape (paper): the phases that touch the particle array (tree build,");
-    println!("tree traversal, inter- and intra-particle interactions) shrink dramatically after");
-    println!("Hilbert reordering; the reordered total is several times smaller than the original.");
+    repro_bench::experiments::print_legacy("table4");
 }

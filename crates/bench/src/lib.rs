@@ -1,7 +1,10 @@
 //! # `repro-bench` — experiment harness for every table and figure of the paper
 //!
-//! Each table and figure of the evaluation section has a corresponding binary in
-//! `src/bin/` (see DESIGN.md §5 for the index); the shared plumbing lives here:
+//! Each table and figure of the evaluation section is a declarative spec in
+//! [`experiments`], executed by the parallel [`runner`] and reachable both through the
+//! unified `xp` binary (`xp table 2`, `xp fig 5 --format json`) and through the legacy
+//! per-experiment binaries in `src/bin/` (see DESIGN.md §5 for the index).  The shared
+//! application plumbing lives at the crate root:
 //!
 //! * [`AppKind`] / [`Ordering`] — the five benchmark applications and the data
 //!   orderings compared (original random order, Hilbert, Morton, column, row);
@@ -16,6 +19,9 @@
 //! EXPERIMENTS.md.
 
 #![forbid(unsafe_code)]
+
+pub mod experiments;
+pub mod runner;
 
 use std::time::Instant;
 
@@ -163,7 +169,13 @@ pub struct AppRun {
 
 /// Build an application at the given scale, apply `ordering`, and record a trace over
 /// `num_procs` virtual processors.
-pub fn build_run(app: AppKind, ordering: Ordering, scale: Scale, num_procs: usize, seed: u64) -> AppRun {
+pub fn build_run(
+    app: AppKind,
+    ordering: Ordering,
+    scale: Scale,
+    num_procs: usize,
+    seed: u64,
+) -> AppRun {
     let n = scale.size_of(app);
     let iters = scale.iterations_of(app);
     build_run_sized(app, ordering, n, iters, num_procs, seed)
@@ -314,14 +326,8 @@ mod tests {
 
     #[test]
     fn reordered_runs_report_a_nonzero_reorder_cost() {
-        let run = build_run_sized(
-            AppKind::Moldyn,
-            Ordering::Reordered(Method::Column),
-            1000,
-            1,
-            4,
-            2,
-        );
+        let run =
+            build_run_sized(AppKind::Moldyn, Ordering::Reordered(Method::Column), 1000, 1, 4, 2);
         assert!(run.reorder_seconds > 0.0);
     }
 

@@ -1,0 +1,201 @@
+//! `xp` — the unified experiment runner.
+//!
+//! One binary subsumes the twelve per-table/figure binaries of `repro-bench`:
+//!
+//! ```text
+//! xp table <1|2|3|4>                  one table of the paper
+//! xp fig <1..9>                       one figure (paired figures share a spec)
+//! xp ablation <reorder-frequency|unit-sweep>
+//! xp run <id>                         any experiment by id or alias
+//! xp sweep                            every experiment (writes one artifact each)
+//! xp list                             what exists, with ids and aliases
+//! ```
+//!
+//! Options (after the subcommand): `--format text|json|csv`, `--out PATH` (for
+//! `sweep`: a directory), `--scale small|paper`, `--procs N`, `--seed N`.
+//! Cells of each experiment's method × workload × substrate matrix run in parallel
+//! on all host cores (cap with `RAYON_NUM_THREADS`).
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use repro_bench::experiments;
+use repro_bench::runner::{ExperimentSpec, Format, RunConfig};
+use repro_bench::Scale;
+
+const USAGE: &str = "\
+xp — experiment runner for the SC 2000 data-reordering reproduction
+
+USAGE:
+    xp table <1|2|3|4>        [options]
+    xp fig <1|2|...|9>        [options]
+    xp ablation <name>        [options]   (reorder-frequency | unit-sweep)
+    xp run <id-or-alias>      [options]
+    xp sweep                  [options]   run every experiment
+    xp list                               list experiments
+
+OPTIONS:
+    --format <text|json|csv>  output format (default: text)
+    --out <path>              write output to a file (sweep: to a directory)
+    --scale <small|paper>     problem sizes (default: small, or REPRO_FULL=1)
+    --procs <N>               override the virtual-processor count
+    --seed <N>                override the workload seed
+    -h, --help                this help
+";
+
+struct Options {
+    format: Format,
+    out: Option<PathBuf>,
+    config: RunConfig,
+}
+
+fn fail(message: &str) -> ExitCode {
+    eprintln!("error: {message}");
+    eprintln!("run `xp --help` for usage");
+    ExitCode::FAILURE
+}
+
+fn parse_options(args: &[String]) -> Result<Options, String> {
+    let mut format = Format::Text;
+    let mut out = None;
+    let mut config = RunConfig::from_env();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |name: &str| it.next().map(|s| s.to_string()).ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--format" => {
+                let v = value_for("--format")?;
+                format = Format::parse(&v).ok_or(format!("unknown format {v:?}"))?;
+            }
+            "--out" => out = Some(PathBuf::from(value_for("--out")?)),
+            "--scale" => {
+                config.scale = match value_for("--scale")?.as_str() {
+                    "small" => Scale::Small,
+                    "paper" | "full" => Scale::Paper,
+                    other => return Err(format!("unknown scale {other:?}")),
+                };
+            }
+            "--procs" => {
+                let v = value_for("--procs")?;
+                let procs: usize =
+                    v.parse().map_err(|_| format!("--procs expects a number, got {v:?}"))?;
+                if procs == 0 {
+                    return Err("--procs must be positive".to_string());
+                }
+                config.procs = Some(procs);
+            }
+            "--seed" => {
+                let v = value_for("--seed")?;
+                config.seed =
+                    Some(v.parse().map_err(|_| format!("--seed expects a number, got {v:?}"))?);
+            }
+            other => return Err(format!("unexpected argument {other:?}")),
+        }
+    }
+    Ok(Options { format, out, config })
+}
+
+fn emit(rendered: &str, out: Option<&Path>) -> Result<(), String> {
+    match out {
+        None => {
+            print!("{rendered}");
+            Ok(())
+        }
+        Some(path) => {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)
+                        .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                }
+            }
+            std::fs::write(path, rendered)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+            Ok(())
+        }
+    }
+}
+
+fn run_one(spec: &ExperimentSpec, options: &Options) -> Result<(), String> {
+    let result = spec.execute(&options.config);
+    emit(&result.render(options.format), options.out.as_deref())
+}
+
+fn run_sweep(options: &Options) -> Result<(), String> {
+    let out_dir = options.out.clone().unwrap_or_else(|| PathBuf::from("xp-out"));
+    std::fs::create_dir_all(&out_dir)
+        .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+    // Experiments run one after another; each parallelizes its own cells across all
+    // cores, so running two heavyweight experiments at once would only oversubscribe.
+    for spec in experiments::all() {
+        eprintln!("running {} ...", spec.id);
+        let result = spec.execute(&options.config);
+        let path = out_dir.join(format!("{}.{}", spec.id, options.format.extension()));
+        emit(&result.render(options.format), Some(&path))?;
+    }
+    eprintln!("sweep complete: {} experiments in {}", experiments::all().len(), out_dir.display());
+    Ok(())
+}
+
+fn print_list() {
+    println!("{:28}  TITLE", "ID");
+    for spec in experiments::all() {
+        println!("{:28}  {}", spec.id, spec.title);
+        if !spec.aliases.is_empty() {
+            println!("{:28}    aliases: {}", "", spec.aliases.join(", "));
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().map(String::as_str) else {
+        print!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    if command == "-h" || command == "--help" || command == "help" {
+        print!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    if command == "list" {
+        print_list();
+        return ExitCode::SUCCESS;
+    }
+
+    // Subcommands that name an experiment, then take shared options.
+    let (spec_name, rest): (String, &[String]) = match command {
+        "table" | "fig" => {
+            let Some(number) = args.get(1) else {
+                return fail(&format!("`xp {command}` needs a number"));
+            };
+            (format!("{command}{number}"), &args[2..])
+        }
+        "ablation" | "run" => {
+            let Some(name) = args.get(1) else {
+                return fail(&format!("`xp {command}` needs an experiment name"));
+            };
+            (name.clone(), &args[2..])
+        }
+        "sweep" => (String::new(), &args[1..]),
+        other => return fail(&format!("unknown command {other:?}")),
+    };
+
+    let options = match parse_options(rest) {
+        Ok(options) => options,
+        Err(message) => return fail(&message),
+    };
+
+    let outcome = if command == "sweep" {
+        run_sweep(&options)
+    } else {
+        match experiments::find(&spec_name) {
+            Some(spec) => run_one(spec, &options),
+            None => Err(format!("no experiment named {spec_name:?} (try `xp list`)")),
+        }
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => fail(&message),
+    }
+}

@@ -1,0 +1,216 @@
+//! Dependency-free stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no access to a crates.io registry, so the workspace
+//! vendors this shim as a path dependency under the `criterion` library name (the
+//! manifests alias `criterion-shim` → `criterion`).  Benchmarks written against the
+//! criterion API (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_with_input`, `iter` / `iter_batched`) compile and run unchanged; each
+//! benchmark takes `sample_size` wall-clock samples and prints min / mean / max to
+//! stdout.  No statistical analysis, warm-up calibration, or HTML reports — for those,
+//! swap the manifests back to real criterion when a registry is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver (the subset of criterion's `Criterion` we need).
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup { name, sample_size: self.sample_size, _criterion: self }
+    }
+
+    /// Run a single benchmark outside a group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut bencher);
+        bencher.report(&name.into());
+        self
+    }
+}
+
+/// Identifier for one benchmark within a group: function name plus parameter.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`, as criterion renders it.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// How `iter_batched` amortizes setup cost; the shim runs one setup per sample
+/// regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration state.
+    SmallInput,
+    /// Large per-iteration state (one setup per measurement).
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// A group of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of wall-clock samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { sample_size: self.sample_size, samples: Vec::new() };
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.label));
+        self
+    }
+
+    /// Finish the group (printing is per-benchmark; this is a no-op for the shim).
+    pub fn finish(self) {}
+}
+
+/// Collects wall-clock samples for one benchmark.
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f` once per sample.
+    pub fn iter<R, F>(&mut self, mut f: F)
+    where
+        F: FnMut() -> R,
+    {
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    /// Measure `routine` on a fresh `setup()` value per sample; setup time is not
+    /// counted.
+    pub fn iter_batched<S, R, FS, FR>(&mut self, mut setup: FS, mut routine: FR, _size: BatchSize)
+    where
+        FS: FnMut() -> S,
+        FR: FnMut(S) -> R,
+    {
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.samples.push(t0.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("  {label}: no samples recorded");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("nonempty");
+        let max = self.samples.iter().max().expect("nonempty");
+        println!(
+            "  {label}: mean {:>12.3?}  min {:>12.3?}  max {:>12.3?}  ({} samples)",
+            mean,
+            min,
+            max,
+            self.samples.len()
+        );
+    }
+}
+
+/// Bundle benchmark functions into a runnable group (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups (mirrors criterion's macro; harness
+/// arguments such as `--bench` are ignored).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::new("count", 1), &(), |b, _| {
+            b.iter(|| runs += 1);
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(4);
+        let mut setups = 0usize;
+        group.bench_with_input(BenchmarkId::new("batched", "x"), &(), |b, _| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![0u8; 8]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            );
+        });
+        group.finish();
+        assert_eq!(setups, 4);
+    }
+}

@@ -1,0 +1,241 @@
+//! Dependency-free stand-in for the subset of `rayon` this workspace uses.
+//!
+//! The build environment for this repository has no access to a crates.io registry, so
+//! the workspace vendors this shim as a path dependency under the `rayon` library name
+//! (the manifests alias `rayon-shim` → `rayon`).  The parallelism is real: every
+//! adapter splits its input into one contiguous block per worker thread and executes
+//! the blocks on [`std::thread::scope`] threads, so the applications' `step_parallel`
+//! paths genuinely use all host cores.
+//!
+//! Only the adapters the workspace calls are provided: `par_iter`, `par_iter_mut`,
+//! `par_chunks`, `into_par_iter` (on ranges and vectors), and the `map` /
+//! `flat_map_iter` / `zip` / `for_each` / `collect` combinators.  Unlike rayon proper,
+//! adapters are *eager*: each combinator that does per-item work runs it in parallel
+//! immediately and materializes the results, which keeps the implementation tiny at the
+//! cost of one intermediate `Vec` per stage.  All call sites in this workspace use
+//! short two-stage pipelines over large items, where that cost is noise.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::OnceLock;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+/// Number of worker threads the adapters fan out to.
+///
+/// Honours `RAYON_NUM_THREADS` (like rayon) and falls back to
+/// [`std::thread::available_parallelism`].
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::env::var("RAYON_NUM_THREADS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+            })
+    })
+}
+
+/// Split `items` into at most `parts` contiguous runs of near-equal length.
+fn split_chunks<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
+    let n = items.len();
+    let parts = parts.clamp(1, n.max(1));
+    let chunk_len = n.div_ceil(parts);
+    let mut chunks = Vec::with_capacity(parts);
+    let mut it = items.into_iter();
+    loop {
+        let chunk: Vec<T> = it.by_ref().take(chunk_len).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(chunk);
+    }
+    chunks
+}
+
+/// Map `f` over `items` on scoped worker threads, preserving order.
+fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
+where
+    T: Send,
+    U: Send,
+    F: Fn(T) -> U + Sync,
+{
+    if current_num_threads() <= 1 || items.len() <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let chunks = split_chunks(items, current_num_threads());
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("rayon-shim worker panicked")).collect()
+    })
+}
+
+/// An eager "parallel iterator": a materialized item list whose combinators run on
+/// worker threads.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Parallel map, preserving input order.
+    pub fn map<U, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        ParIter { items: par_map_vec(self.items, f) }
+    }
+
+    /// Parallel map to an iterator per item, flattened in input order
+    /// (rayon's `flat_map_iter`).
+    pub fn flat_map_iter<U, I, F>(self, f: F) -> ParIter<U>
+    where
+        U: Send,
+        I: IntoIterator<Item = U>,
+        F: Fn(T) -> I + Sync,
+    {
+        let nested = par_map_vec(self.items, |item| f(item).into_iter().collect::<Vec<U>>());
+        ParIter { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Pair items with another parallel iterator's, truncating to the shorter side.
+    pub fn zip<U: Send>(self, other: ParIter<U>) -> ParIter<(T, U)> {
+        ParIter { items: self.items.into_iter().zip(other.items).collect() }
+    }
+
+    /// Run `f` on every item on worker threads.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        par_map_vec(self.items, f);
+    }
+
+    /// Collect the (already ordered) items.
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// Conversion into a [`ParIter`] (rayon's `IntoParallelIterator`).
+pub trait IntoParallelIterator {
+    /// Item type of the resulting parallel iterator.
+    type Item: Send;
+    /// Convert into an eager parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    fn into_par_iter(self) -> ParIter<usize> {
+        ParIter { items: self.collect() }
+    }
+}
+
+/// `par_iter` / `par_chunks` on slices (rayon's `IntoParallelRefIterator` +
+/// `ParallelSlice`, collapsed into one trait).
+pub trait ParallelSlice<T: Sync> {
+    /// Parallel iterator over `&T`.
+    fn par_iter(&self) -> ParIter<&T>;
+    /// Parallel iterator over contiguous `&[T]` chunks of length `chunk_size`.
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<&T> {
+        ParIter { items: self.iter().collect() }
+    }
+
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<&[T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks(chunk_size).collect() }
+    }
+}
+
+/// `par_iter_mut` on slices (rayon's `IntoParallelRefMutIterator`).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel iterator over `&mut T`.
+    fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<&mut T> {
+        ParIter { items: self.iter_mut().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let v: Vec<usize> = (0..10_000).collect();
+        let doubled: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn into_par_iter_on_ranges() {
+        let squares: Vec<usize> = (0..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares[9], 81);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn flat_map_iter_flattens_in_order() {
+        let v = [vec![1, 2], vec![3], vec![], vec![4, 5]];
+        let flat: Vec<i32> = v.par_iter().flat_map_iter(|inner| inner.iter().copied()).collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn par_iter_mut_zip_for_each_mutates() {
+        let mut dst = vec![0u64; 1000];
+        let src: Vec<u64> = (0..1000).collect();
+        dst.par_iter_mut().zip(src.par_iter()).for_each(|(d, &s)| *d = s + 1);
+        assert_eq!(dst[999], 1000);
+        assert_eq!(dst[0], 1);
+    }
+
+    #[test]
+    fn par_chunks_covers_everything() {
+        let v: Vec<u32> = (0..1003).collect();
+        let sums: Vec<u64> =
+            v.par_chunks(64).map(|c| c.iter().map(|&x| u64::from(x)).sum()).collect();
+        let total: u64 = sums.iter().sum();
+        assert_eq!(total, 1002 * 1003 / 2);
+    }
+
+    #[test]
+    fn thread_count_is_positive() {
+        assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn split_chunks_partitions_exactly() {
+        let chunks = split_chunks((0..10).collect::<Vec<_>>(), 4);
+        let flat: Vec<i32> = chunks.iter().flatten().copied().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert!(chunks.len() <= 4);
+    }
+}

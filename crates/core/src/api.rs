@@ -189,12 +189,7 @@ mod tests {
         bodies
             .windows(2)
             .map(|w| {
-                w[0].pos
-                    .iter()
-                    .zip(&w[1].pos)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
+                w[0].pos.iter().zip(&w[1].pos).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
             })
             .sum()
     }
@@ -272,9 +267,7 @@ mod tests {
 
     #[test]
     fn compute_reordering_from_points_matches_generic_entry_point() {
-        let pts: Vec<[f64; 2]> = (0..64)
-            .map(|i| [(i % 8) as f64, (i / 8) as f64])
-            .collect();
+        let pts: Vec<[f64; 2]> = (0..64).map(|i| [(i % 8) as f64, (i / 8) as f64]).collect();
         let a = compute_reordering_from_points(Method::Hilbert, &pts);
         let b = compute_reordering(Method::Hilbert, pts.len(), 2, |i, d| pts[i][d]);
         assert_eq!(a.ranks(), b.ranks());
@@ -292,9 +285,8 @@ mod tests {
     fn already_ordered_data_stays_ordered() {
         // Points already laid out along x in column order: a second column reorder must
         // be the identity permutation.
-        let mut bodies: Vec<Body> = (0..64)
-            .map(|i| Body { pos: [i as f64, 0.0, 0.0], id: i })
-            .collect();
+        let mut bodies: Vec<Body> =
+            (0..64).map(|i| Body { pos: [i as f64, 0.0, 0.0], id: i }).collect();
         let r = column_reorder(&mut bodies, 3, |b, d| b.pos[d]);
         assert!(r.is_identity());
     }

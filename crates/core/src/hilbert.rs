@@ -70,8 +70,8 @@ pub fn hilbert_decode(index: u128, dims: usize, bits: u32) -> Vec<u32> {
 }
 
 fn validate(dims: usize, bits: u32) {
-    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
-    assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32, got {bits}");
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
     assert!(
         dims as u32 * bits <= 128,
         "dims * bits must be <= 128 so the Hilbert index fits in u128 (got {dims} * {bits})"
@@ -212,7 +212,7 @@ mod tests {
 
     #[test]
     fn two_dim_order_two_curve_is_a_permutation_of_the_grid() {
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for i in 0..16 {
             let c = hilbert_decode(i, 2, 2);
             let cell = (c[0] * 4 + c[1]) as usize;
@@ -240,11 +240,7 @@ mod tests {
         let bits = 3;
         let walk = hilbert_walk(2, bits);
         for w in walk.windows(2) {
-            let manhattan: u32 = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let manhattan: u32 = w[0].iter().zip(&w[1]).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(manhattan, 1, "consecutive Hilbert cells must be adjacent: {w:?}");
         }
     }
@@ -254,11 +250,7 @@ mod tests {
         let bits = 2;
         let walk = hilbert_walk(3, bits);
         for w in walk.windows(2) {
-            let manhattan: u32 = w[0]
-                .iter()
-                .zip(&w[1])
-                .map(|(&a, &b)| a.abs_diff(b))
-                .sum();
+            let manhattan: u32 = w[0].iter().zip(&w[1]).map(|(&a, &b)| a.abs_diff(b)).sum();
             assert_eq!(manhattan, 1, "consecutive Hilbert cells must be adjacent: {w:?}");
         }
     }

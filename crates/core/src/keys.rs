@@ -94,7 +94,7 @@ pub fn sort_keys<F>(
 where
     F: FnMut(usize, usize) -> f64,
 {
-    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
     let bits = quantizer.bits();
     let mut cells = [0u32; MAX_DIMS];
     (0..n)

@@ -49,6 +49,9 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// In the numeric kernels the loop index is also the semantic id (processor,
+// cell, dimension), so indexed loops read better than enumerate chains.
+#![allow(clippy::needless_range_loop)]
 
 pub mod graph;
 pub mod hilbert;

@@ -27,8 +27,8 @@ use crate::MAX_DIMS;
 /// ```
 pub fn morton_encode(coords: &[u32], bits: u32) -> u128 {
     let dims = coords.len();
-    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
-    assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32, got {bits}");
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
     assert!(dims as u32 * bits <= 128, "dims * bits must be <= 128");
     let mut index: u128 = 0;
     for (d, &c) in coords.iter().enumerate() {
@@ -46,8 +46,8 @@ pub fn morton_encode(coords: &[u32], bits: u32) -> u128 {
 
 /// Decode a Morton index back into grid coordinates; the inverse of [`morton_encode`].
 pub fn morton_decode(index: u128, dims: usize, bits: u32) -> Vec<u32> {
-    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
-    assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32, got {bits}");
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
     assert!(dims as u32 * bits <= 128, "dims * bits must be <= 128");
     let mut coords = vec![0u32; dims];
     for d in 0..dims {

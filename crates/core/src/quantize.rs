@@ -87,7 +87,7 @@ impl Quantizer {
     /// # Panics
     /// Panics if `bits` is 0 or greater than 32.
     pub fn new(bbox: BoundingBox, bits: u32) -> Self {
-        assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32");
+        assert!((1..=32).contains(&bits), "bits must be in 1..=32");
         let cells = (1u64 << bits) as f64;
         let scale = (0..bbox.dims())
             .map(|d| {
@@ -130,11 +130,7 @@ impl Quantizer {
     /// quantizer can also be reused for points that moved slightly after it was fitted
     /// (e.g. when reordering every few time steps).
     pub fn cell(&self, d: usize, value: f64) -> u32 {
-        let max_cell = if self.bits == 32 {
-            u32::MAX
-        } else {
-            (1u32 << self.bits) - 1
-        };
+        let max_cell = if self.bits == 32 { u32::MAX } else { (1u32 << self.bits) - 1 };
         if self.scale[d] == 0.0 {
             return 0;
         }

@@ -47,15 +47,12 @@ pub fn row_key(coords: &[u32], bits: u32) -> u128 {
 
 fn concat_key(coords: &[u32], bits: u32, reverse: bool) -> u128 {
     let dims = coords.len();
-    assert!(dims >= 1 && dims <= MAX_DIMS, "dims must be in 1..={MAX_DIMS}, got {dims}");
-    assert!(bits >= 1 && bits <= 32, "bits must be in 1..=32, got {bits}");
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
     assert!(dims as u32 * bits <= 128, "dims * bits must be <= 128");
     let mut key: u128 = 0;
-    let order: Box<dyn Iterator<Item = usize>> = if reverse {
-        Box::new((0..dims).rev())
-    } else {
-        Box::new(0..dims)
-    };
+    let order: Box<dyn Iterator<Item = usize>> =
+        if reverse { Box::new((0..dims).rev()) } else { Box::new(0..dims) };
     for d in order {
         let c = coords[d];
         assert!(
@@ -78,17 +75,14 @@ pub fn row_decode(key: u128, dims: usize, bits: u32) -> Vec<u32> {
 }
 
 fn decode(key: u128, dims: usize, bits: u32, reverse: bool) -> Vec<u32> {
-    assert!(dims >= 1 && dims <= MAX_DIMS);
-    assert!(bits >= 1 && bits <= 32 && dims as u32 * bits <= 128);
+    assert!((1..=MAX_DIMS).contains(&dims));
+    assert!((1..=32).contains(&bits) && dims as u32 * bits <= 128);
     let mask: u128 = if bits == 128 { u128::MAX } else { (1u128 << bits) - 1 };
     let mut coords = vec![0u32; dims];
     let mut k = key;
     // The last dimension pushed by the encoder occupies the least significant bits.
-    let order: Box<dyn Iterator<Item = usize>> = if reverse {
-        Box::new(0..dims)
-    } else {
-        Box::new((0..dims).rev())
-    };
+    let order: Box<dyn Iterator<Item = usize>> =
+        if reverse { Box::new(0..dims) } else { Box::new((0..dims).rev()) };
     for d in order {
         coords[d] = (k & mask) as u32;
         k >>= bits;

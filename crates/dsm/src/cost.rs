@@ -124,11 +124,8 @@ impl NetworkCostModel {
                 compute + comm
             })
             .fold(0.0, f64::max);
-        let speedup = if parallel_seconds > 0.0 {
-            sequential_seconds / parallel_seconds
-        } else {
-            0.0
-        };
+        let speedup =
+            if parallel_seconds > 0.0 { sequential_seconds / parallel_seconds } else { 0.0 };
         TimeEstimate { sequential_seconds, parallel_seconds, speedup }
     }
 
@@ -164,9 +161,8 @@ mod tests {
     #[test]
     fn communication_free_run_gets_near_linear_speedup() {
         let m = NetworkCostModel::default();
-        let per_proc: Vec<ProcStats> = (0..8)
-            .map(|_| ProcStats { accesses: 1_000_000, ..Default::default() })
-            .collect();
+        let per_proc: Vec<ProcStats> =
+            (0..8).map(|_| ProcStats { accesses: 1_000_000, ..Default::default() }).collect();
         let r = run_with(per_proc, Protocol::TreadMarks, 2);
         let est = m.estimate(&r);
         assert!(est.speedup > 7.0, "speedup was {}", est.speedup);
@@ -176,9 +172,8 @@ mod tests {
     #[test]
     fn heavy_communication_hurts_speedup() {
         let m = NetworkCostModel::default();
-        let clean: Vec<ProcStats> = (0..8)
-            .map(|_| ProcStats { accesses: 100_000, ..Default::default() })
-            .collect();
+        let clean: Vec<ProcStats> =
+            (0..8).map(|_| ProcStats { accesses: 100_000, ..Default::default() }).collect();
         let noisy: Vec<ProcStats> = (0..8)
             .map(|_| ProcStats {
                 accesses: 100_000,

@@ -67,8 +67,8 @@ impl PageWriteHistory {
                     }
                 }
                 for (page, objs) in written {
-                    let bytes = (objs.len() as u64 * layout.object_size as u64)
-                        .min(page_bytes as u64);
+                    let bytes =
+                        (objs.len() as u64 * layout.object_size as u64).min(page_bytes as u64);
                     sets.writes.insert(page, bytes);
                 }
             }

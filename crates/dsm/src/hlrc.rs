@@ -247,7 +247,7 @@ mod tests {
     fn reordering_like_partitioning_reduces_hlrc_traffic_too() {
         let procs = 4;
         let scattered_layout = ObjectLayout::new(256, 64); // 4 pages
-        // Scattered: processor p writes objects p, p+4, ..., spread over all pages.
+                                                           // Scattered: processor p writes objects p, p+4, ..., spread over all pages.
         let mut b = TraceBuilder::new(scattered_layout.clone(), procs);
         for p in 0..procs {
             for k in 0..32 {

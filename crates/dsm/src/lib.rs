@@ -26,6 +26,28 @@
 //! with the paper's measured latencies (126 µs round-trip, 1 308 µs page fetch,
 //! 313–1 544 µs diff fetch, 643 µs barrier) converts them into estimated execution
 //! times and speedups (Figures 8 and 9).
+//!
+//! ```
+//! use dsm::{DsmConfig, HlrcSim, TreadMarksSim};
+//! use smtrace::{ObjectLayout, TraceBuilder};
+//!
+//! // Processor 0 writes an object, the barrier propagates it, processor 1 reads it:
+//! // both protocols must move data, and the homeless protocol needs at least as many
+//! // messages as the home-based one.
+//! let mut builder = TraceBuilder::new(ObjectLayout::new(16, 64), 2);
+//! builder.write(0, 0);
+//! builder.barrier();
+//! builder.read(1, 0);
+//! builder.barrier();
+//! let trace = builder.finish();
+//!
+//! let config = DsmConfig::new(1024, 2);
+//! let tmk = TreadMarksSim::new(config).run(&trace);
+//! let hlrc = HlrcSim::new(config).run(&trace);
+//! assert!(tmk.stats.data_bytes > 0);
+//! assert!(hlrc.stats.data_bytes > 0);
+//! assert!(tmk.stats.messages >= hlrc.stats.messages);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

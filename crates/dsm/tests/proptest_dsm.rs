@@ -8,10 +8,7 @@ use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
 
 /// A tiny random "program": a list of intervals, each a list of (proc, object, write)
 /// accesses, over `procs` processors and `objects` objects of 64 bytes.
-fn arbitrary_trace(
-    procs: usize,
-    objects: usize,
-) -> impl Strategy<Value = ProgramTrace> {
+fn arbitrary_trace(procs: usize, objects: usize) -> impl Strategy<Value = ProgramTrace> {
     let access = (0..procs, 0..objects, any::<bool>());
     let interval = prop::collection::vec(access, 0..40);
     prop::collection::vec(interval, 1..6).prop_map(move |intervals| {

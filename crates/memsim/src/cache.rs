@@ -27,7 +27,7 @@ impl CacheConfig {
     pub fn new(capacity_bytes: usize, line_bytes: usize, associativity: usize) -> Self {
         assert!(capacity_bytes > 0 && line_bytes > 0 && associativity > 0);
         assert!(
-            capacity_bytes % (line_bytes * associativity) == 0,
+            capacity_bytes.is_multiple_of(line_bytes * associativity),
             "capacity must be a whole number of sets"
         );
         let sets = capacity_bytes / (line_bytes * associativity);

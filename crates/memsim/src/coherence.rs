@@ -112,12 +112,7 @@ impl MultiprocessorSim {
                 // other processor currently holds it dirty.  We track that cheaply via
                 // the invalidation below, by marking misses to lines that *some other*
                 // cache holds as coherence misses (the data had to come from a peer).
-                if self
-                    .caches
-                    .iter()
-                    .enumerate()
-                    .any(|(p, c)| p != proc && c.contains_line(line))
-                {
+                if self.caches.iter().enumerate().any(|(p, c)| p != proc && c.contains_line(line)) {
                     self.caches[proc].note_coherence_miss();
                 }
             }
@@ -279,7 +274,8 @@ mod tests {
         let trace = b.finish();
 
         // Original layout: object i at position i.
-        let mut m1 = MultiprocessorSim::new(1, CacheConfig::new(512, 64, 2), TlbConfig::new(2, 256));
+        let mut m1 =
+            MultiprocessorSim::new(1, CacheConfig::new(512, 64, 2), TlbConfig::new(2, 256));
         let r1 = m1.run_trace(&trace);
 
         // "Reordered" layout: we emulate reordering by remapping the trace's objects so
@@ -292,7 +288,8 @@ mod tests {
             }
         }
         let trace2 = b2.finish();
-        let mut m2 = MultiprocessorSim::new(1, CacheConfig::new(512, 64, 2), TlbConfig::new(2, 256));
+        let mut m2 =
+            MultiprocessorSim::new(1, CacheConfig::new(512, 64, 2), TlbConfig::new(2, 256));
         let r2 = m2.run_trace(&trace2);
 
         assert!(r2.tlb_misses() < r1.tlb_misses());

@@ -24,9 +24,28 @@
 //!
 //! The simulators are deterministic: identical traces produce identical counts, so the
 //! original-versus-reordered comparisons in `EXPERIMENTS.md` are exactly reproducible.
+//!
+//! ```
+//! use memsim::{Cache, CacheConfig};
+//!
+//! // A 2 KB two-way cache with 64-byte lines: touching the same two lines repeatedly
+//! // misses twice (cold) and then always hits.
+//! let mut cache = Cache::new(CacheConfig::new(2048, 64, 2));
+//! for _ in 0..10 {
+//!     cache.access_line(1);
+//!     cache.access_line(2);
+//! }
+//! let stats = cache.stats();
+//! assert_eq!(stats.accesses, 20);
+//! assert_eq!(stats.misses, 2);
+//! assert_eq!(stats.hits, 18);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// In the numeric kernels the loop index is also the semantic id (processor,
+// cell, dimension), so indexed loops read better than enumerate chains.
+#![allow(clippy::needless_range_loop)]
 
 pub mod cache;
 pub mod coherence;

@@ -102,11 +102,7 @@ impl CostModel {
 
     /// Estimated execution time of the whole machine: the slowest processor.
     pub fn machine_time(&self, result: &SimulationResult) -> f64 {
-        result
-            .per_proc
-            .iter()
-            .map(|p| self.processor_time(p))
-            .fold(0.0, f64::max)
+        result.per_proc.iter().map(|p| self.processor_time(p)).fold(0.0, f64::max)
     }
 
     /// Speedup of `parallel` over `sequential` under this cost model.

@@ -58,7 +58,11 @@ impl PageSharingReport {
 /// Compute the aggregate sharing report over the whole trace: a processor counts as
 /// sharing a unit if it touches it in *any* interval.  This matches the paper's figures,
 /// which are per-iteration snapshots of a steady-state iteration.
-pub fn page_sharing(trace: &ProgramTrace, layout: &ObjectLayout, unit_bytes: usize) -> PageSharingReport {
+pub fn page_sharing(
+    trace: &ProgramTrace,
+    layout: &ObjectLayout,
+    unit_bytes: usize,
+) -> PageSharingReport {
     let num_units = layout.num_units(unit_bytes);
     // Aggregate each processor's sets over all intervals first, then count sharers.
     let mut per_proc: Vec<UnitAccessSets> = vec![UnitAccessSets::default(); trace.num_procs];
@@ -127,11 +131,9 @@ mod tests {
         let n = 1024;
         let procs = 4;
         // Scattered (round-robin) assignment: processor p owns objects p, p+4, p+8, ...
-        let scattered =
-            trace_from_assignment(n, 64, procs, n / procs, |p, k| p + k * procs);
+        let scattered = trace_from_assignment(n, 64, procs, n / procs, |p, k| p + k * procs);
         // Contiguous (block) assignment after "reordering": processor p owns a block.
-        let blocked =
-            trace_from_assignment(n, 64, procs, n / procs, |p, k| p * (n / procs) + k);
+        let blocked = trace_from_assignment(n, 64, procs, n / procs, |p, k| p * (n / procs) + k);
         let layout = ObjectLayout::new(n, 64);
         let rep_s = page_sharing(&scattered, &layout, 4096);
         let rep_b = page_sharing(&blocked, &layout, 4096);

@@ -52,7 +52,8 @@ impl CellGrid {
     /// boundary cells).
     pub fn cell_index(&self, p: [f64; 3]) -> usize {
         let s = self.cells_per_side;
-        let coord = |x: f64| (((x / self.box_side) * s as f64) as isize).clamp(0, s as isize - 1) as usize;
+        let coord =
+            |x: f64| (((x / self.box_side) * s as f64) as isize).clamp(0, s as isize - 1) as usize;
         (coord(p[0]) * s + coord(p[1])) * s + coord(p[2])
     }
 
@@ -118,9 +119,7 @@ impl CellGrid {
             plane_owner[x] = proc.min(num_procs - 1);
             acc += plane_weight[x] as f64;
         }
-        (0..self.num_cells())
-            .map(|c| plane_owner[self.cell_coords(c).0])
-            .collect()
+        (0..self.num_cells()).map(|c| plane_owner[self.cell_coords(c).0]).collect()
     }
 }
 
@@ -185,7 +184,7 @@ mod tests {
         let grid = CellGrid::build(&pos, 10.0, 2.0);
         for c in 0..grid.num_cells() {
             let n = grid.neighborhood(c).len();
-            assert!(n >= 8 && n <= 27);
+            assert!((8..=27).contains(&n));
         }
     }
 

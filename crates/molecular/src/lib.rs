@@ -21,9 +21,23 @@
 //! Both applications expose the same three execution paths as the `nbody` crate:
 //! sequential reference, rayon-parallel, and traced (per-virtual-processor access
 //! recording for the `memsim` / `dsm` substrates).
+//!
+//! ```
+//! use molecular::{Moldyn, MoldynParams};
+//! use reorder::Method;
+//!
+//! let mut sim = Moldyn::lattice(500, 13, MoldynParams::default());
+//! sim.reorder(Method::Column);
+//! let trace = sim.trace_steps(1, 4);
+//! assert_eq!(trace.num_procs, 4);
+//! assert!(trace.total_accesses() > 0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// In the numeric kernels the loop index is also the semantic id (processor,
+// cell, dimension), so indexed loops read better than enumerate chains.
+#![allow(clippy::needless_range_loop)]
 
 pub mod cellgrid;
 pub mod moldyn;

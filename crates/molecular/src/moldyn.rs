@@ -246,10 +246,8 @@ impl Moldyn {
             .map(|pairs| {
                 let mut forces = vec![[0.0f64; 3]; n];
                 for &(i, j) in pairs {
-                    let f = self.pair_force(
-                        self.molecules[i as usize].pos,
-                        self.molecules[j as usize].pos,
-                    );
+                    let f = self
+                        .pair_force(self.molecules[i as usize].pos, self.molecules[j as usize].pos);
                     for k in 0..3 {
                         forces[i as usize][k] += f[k];
                         forces[j as usize][k] -= f[k];
@@ -315,10 +313,7 @@ impl Moldyn {
 
     /// Total kinetic energy (diagnostic).
     pub fn kinetic_energy(&self) -> f64 {
-        self.molecules
-            .iter()
-            .map(|m| 0.5 * m.vel.iter().map(|v| v * v).sum::<f64>())
-            .sum()
+        self.molecules.iter().map(|m| 0.5 * m.vel.iter().map(|v| v * v).sum::<f64>()).sum()
     }
 }
 

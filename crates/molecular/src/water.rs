@@ -124,8 +124,7 @@ impl WaterSpatial {
     /// grid stores molecule indices, so rebuilding is simpler and no more expensive than
     /// remapping).
     pub fn reorder(&mut self, method: Method) -> Reordering {
-        let reordering =
-            reorder_by_method(method, &mut self.molecules, 3, |m, d| m.center()[d]);
+        let reordering = reorder_by_method(method, &mut self.molecules, 3, |m, d| m.center()[d]);
         let centers: Vec<[f64; 3]> = self.molecules.iter().map(|m| m.center()).collect();
         self.grid.rebuild(&centers);
         reordering
@@ -282,11 +281,7 @@ mod tests {
     use super::*;
 
     fn small(n: usize, seed: u64) -> WaterSpatial {
-        WaterSpatial::lattice(
-            n,
-            seed,
-            WaterSpatialParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4 },
-        )
+        WaterSpatial::lattice(n, seed, WaterSpatialParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4 })
     }
 
     #[test]
@@ -294,7 +289,7 @@ mod tests {
         // Table 1: 680-byte objects.  The Rust record must be comparable (large, several
         // cache lines, a few per DSM page).
         let size = std::mem::size_of::<WaterMolecule>();
-        assert!(size >= 200 && size <= 680, "WaterMolecule is {size} bytes");
+        assert!((200..=680).contains(&size), "WaterMolecule is {size} bytes");
         assert_eq!(WATER_MOLECULE_BYTES, 680);
     }
 
@@ -402,7 +397,7 @@ mod tests {
         let sim = small(400, 7);
         let owners = sim.cell_owners(4);
         assert_eq!(owners.len(), sim.grid.num_cells());
-        let mut seen = vec![false; 4];
+        let mut seen = [false; 4];
         for c in 0..sim.grid.num_cells() {
             seen[owners[c]] = true;
         }

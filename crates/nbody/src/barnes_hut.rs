@@ -108,7 +108,8 @@ impl BarnesHut {
     pub fn partition(&self, tree: &Octree, num_procs: usize) -> Vec<Vec<u32>> {
         assert!(num_procs > 0);
         let order = tree.inorder_bodies();
-        let total_cost: u64 = order.iter().map(|&b| u64::from(self.bodies[b as usize].cost.max(1))).sum();
+        let total_cost: u64 =
+            order.iter().map(|&b| u64::from(self.bodies[b as usize].cost.max(1))).sum();
         let target = (total_cost as f64 / num_procs as f64).max(1.0);
         let mut parts = vec![Vec::new(); num_procs];
         let mut acc = 0.0;
@@ -127,7 +128,12 @@ impl BarnesHut {
     /// body `i` by partial traversal of `tree`.  If `reads` is provided, the indices of
     /// every *body* read during the traversal (direct interactions within opened
     /// leaves) are appended to it.
-    fn force_on_body(&self, tree: &Octree, i: u32, mut reads: Option<&mut Vec<u32>>) -> ForceResult {
+    fn force_on_body(
+        &self,
+        tree: &Octree,
+        i: u32,
+        mut reads: Option<&mut Vec<u32>>,
+    ) -> ForceResult {
         let theta = self.params.theta;
         let eps2 = self.params.eps * self.params.eps;
         let pos_i = self.bodies[i as usize].pos;
@@ -203,9 +209,8 @@ impl BarnesHut {
     /// baselines).
     pub fn step_sequential(&mut self) {
         let tree = self.build_tree();
-        let results: Vec<ForceResult> = (0..self.bodies.len() as u32)
-            .map(|i| self.force_on_body(&tree, i, None))
-            .collect();
+        let results: Vec<ForceResult> =
+            (0..self.bodies.len() as u32).map(|i| self.force_on_body(&tree, i, None)).collect();
         self.apply_forces(&results);
         let all: Vec<u32> = (0..self.bodies.len() as u32).collect();
         self.integrate_bodies(&all);
@@ -219,10 +224,7 @@ impl BarnesHut {
         let results: Vec<ForceResult> = parts
             .par_iter()
             .flat_map_iter(|chunk| {
-                chunk
-                    .iter()
-                    .map(|&i| self.force_on_body(&tree, i, None))
-                    .collect::<Vec<_>>()
+                chunk.iter().map(|&i| self.force_on_body(&tree, i, None)).collect::<Vec<_>>()
             })
             .collect();
         self.apply_forces(&results);
@@ -286,11 +288,7 @@ impl BarnesHut {
     /// the test-suite.  Potential energy uses the pairwise direct sum, so only call this
     /// on small systems.
     pub fn total_energy_direct(&self) -> f64 {
-        let kinetic: f64 = self
-            .bodies
-            .iter()
-            .map(|b| 0.5 * b.mass * b.vel.norm_sq())
-            .sum();
+        let kinetic: f64 = self.bodies.iter().map(|b| 0.5 * b.mass * b.vel.norm_sq()).sum();
         let mut potential = 0.0;
         let eps2 = self.params.eps * self.params.eps;
         for i in 0..self.bodies.len() {

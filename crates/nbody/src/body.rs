@@ -51,11 +51,7 @@ impl Body {
     /// `workloads` generators).
     pub fn from_positions(positions: &[[f64; 3]], masses: &[f64]) -> Vec<Body> {
         assert_eq!(positions.len(), masses.len(), "positions and masses must align");
-        positions
-            .iter()
-            .zip(masses)
-            .map(|(&p, &m)| Body::at_rest(p, m))
-            .collect()
+        positions.iter().zip(masses).map(|(&p, &m)| Body::at_rest(p, m)).collect()
     }
 
     /// Coordinate accessor in the form the reordering library expects.
@@ -95,7 +91,7 @@ mod tests {
         // record must stay fine-grained: several bodies per cache line/page, as the
         // paper's analysis assumes.
         let size = std::mem::size_of::<Body>();
-        assert!(size >= 96 && size <= 136, "Body is {size} bytes");
+        assert!((96..=136).contains(&size), "Body is {size} bytes");
     }
 
     #[test]

@@ -117,6 +117,8 @@ impl std::ops::Mul<f64> for Complex {
 }
 impl std::ops::Div for Complex {
     type Output = Complex;
+    // Complex division via reciprocal multiply is intentional, not a typo.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex) -> Complex {
         self * o.recip()
     }
@@ -188,7 +190,9 @@ impl Multipole {
             let b_l = -(d.powi(l as u32) * (1.0 / l as f64)) * self.coeffs[0];
             let mut sum = Complex::ZERO;
             for k in 1..=l.min(self.coeffs.len() - 1) {
-                sum += self.coeffs[k] * d.powi((l - k) as u32) * binomial((l - 1) as u32, (k - 1) as u32);
+                sum += self.coeffs[k]
+                    * d.powi((l - k) as u32)
+                    * binomial((l - 1) as u32, (k - 1) as u32);
             }
             parent.coeffs[l] += b_l + sum;
         }
@@ -219,7 +223,8 @@ impl Multipole {
             for k in 1..self.coeffs.len() {
                 z0_k = z0_k * z0;
                 let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
-                sum += self.coeffs[k] * (sign * binomial((l + k - 1) as u32, (k - 1) as u32)) / z0_k;
+                sum +=
+                    self.coeffs[k] * (sign * binomial((l + k - 1) as u32, (k - 1) as u32)) / z0_k;
             }
             bl += sum / z0_l;
             local.coeffs[l] += bl;
@@ -331,7 +336,8 @@ mod tests {
         for &(z, q) in &srcs {
             m.add_particle(z, q);
         }
-        for &target in &[Complex::new(0.0, 0.0), Complex::new(20.0, 3.0), Complex::new(10.0, -5.0)] {
+        for &target in &[Complex::new(0.0, 0.0), Complex::new(20.0, 3.0), Complex::new(10.0, -5.0)]
+        {
             let (pm, dm) = m.evaluate(target);
             let (pd, dd) = direct_potential(target, &srcs);
             assert!((pm - pd).abs() < 1e-8, "potential mismatch at {target:?}");

@@ -199,9 +199,8 @@ impl Fmm {
 
         // --- Build interaction lists (cells only; no particle access).
         let t0 = Instant::now();
-        let interaction_lists: Vec<Vec<CellId>> = (0..num_leaves)
-            .map(|c| QuadTree::interaction_list(leaf_level, c as CellId))
-            .collect();
+        let interaction_lists: Vec<Vec<CellId>> =
+            (0..num_leaves).map(|c| QuadTree::interaction_list(leaf_level, c as CellId)).collect();
         let neighbor_lists: Vec<Vec<CellId>> =
             (0..num_leaves).map(|c| QuadTree::neighbors(leaf_level, c as CellId)).collect();
         breakdown.build_list = t0.elapsed().as_secs_f64();
@@ -306,8 +305,7 @@ impl Fmm {
                         if record_reads {
                             reads[bi as usize].push(bj);
                         }
-                        let dz =
-                            Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
+                        let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
                         let r2 = dz.norm_sq() + eps2;
                         acc += dz * (other.mass / r2);
                         pot += 0.5 * other.mass * r2.ln();
@@ -358,15 +356,12 @@ impl Fmm {
         // Integration is trivially parallel.
         let dt = self.params.dt;
         let t0 = Instant::now();
-        self.bodies
-            .par_iter_mut()
-            .zip(results.par_iter())
-            .for_each(|(b, &(acc, phi))| {
-                b.acc = acc;
-                b.phi = phi;
-                b.vel += acc * dt;
-                b.pos += b.vel * dt;
-            });
+        self.bodies.par_iter_mut().zip(results.par_iter()).for_each(|(b, &(acc, phi))| {
+            b.acc = acc;
+            b.phi = phi;
+            b.vel += acc * dt;
+            b.pos += b.vel * dt;
+        });
         breakdown.other = t0.elapsed().as_secs_f64();
         breakdown
     }
@@ -473,11 +468,7 @@ mod tests {
     use super::*;
 
     fn small_fmm(n: usize, seed: u64) -> Fmm {
-        Fmm::two_plummer(
-            n,
-            seed,
-            FmmParams { order: 10, target_per_leaf: 8, dt: 0.01, eps: 0.0 },
-        )
+        Fmm::two_plummer(n, seed, FmmParams { order: 10, target_per_leaf: 8, dt: 0.01, eps: 0.0 })
     }
 
     #[test]

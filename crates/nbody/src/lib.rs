@@ -28,9 +28,26 @@
 //! 3. **Update** — each processor advances the positions/velocities of its particles.
 //!
 //! Barriers separate the phases, exactly as in the traced intervals.
+//!
+//! ```
+//! use nbody::{BarnesHut, BarnesHutParams};
+//! use reorder::Method;
+//!
+//! let mut sim = BarnesHut::two_plummer(256, 7, BarnesHutParams::default());
+//! sim.reorder(Method::Hilbert);
+//! // One traced iteration on 4 virtual processors: three barrier intervals
+//! // (build, force, update) with every body touched.
+//! let trace = sim.trace_iterations(1, 4);
+//! assert_eq!(trace.num_procs, 4);
+//! assert!(trace.num_barriers() >= 3);
+//! assert!(trace.total_accesses() >= 256);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+// In the numeric kernels the loop index is also the semantic id (processor,
+// cell, dimension), so indexed loops read better than enumerate chains.
+#![allow(clippy::needless_range_loop)]
 
 pub mod barnes_hut;
 pub mod body;

@@ -288,9 +288,7 @@ mod tests {
         // Consecutive bodies in tree order are much closer on average than consecutive
         // bodies in (random) array order.
         let mean_dist = |seq: &[u32]| {
-            seq.windows(2)
-                .map(|w| bs[w[0] as usize].pos.dist(bs[w[1] as usize].pos))
-                .sum::<f64>()
+            seq.windows(2).map(|w| bs[w[0] as usize].pos.dist(bs[w[1] as usize].pos)).sum::<f64>()
                 / (seq.len() - 1) as f64
         };
         let array_order: Vec<u32> = (0..bs.len() as u32).collect();

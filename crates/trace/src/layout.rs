@@ -167,9 +167,8 @@ mod tests {
             }
         }
         // Every object appears in exactly one unit's range.
-        let total: usize = (0..layout.num_units(4096))
-            .map(|u| layout.objects_in_unit(u, 4096).len())
-            .sum();
+        let total: usize =
+            (0..layout.num_units(4096)).map(|u| layout.objects_in_unit(u, 4096).len()).sum();
         assert_eq!(total, 1000);
     }
 

@@ -26,6 +26,27 @@
 //! measurements) and records a trace with `P` *virtual* processors (so the simulated
 //! processor count is independent of the host's core count, exactly like the paper's
 //! 1–16 processor sweeps).
+//!
+//! ```
+//! use smtrace::{ObjectLayout, TraceBuilder};
+//!
+//! // 64 objects of 96 bytes (the paper's Barnes-Hut body size), traced on 2 virtual
+//! // processors over two barrier intervals.
+//! let layout = ObjectLayout::new(64, 96);
+//! let mut builder = TraceBuilder::new(layout, 2);
+//! builder.write(0, 3);
+//! builder.read(1, 3);
+//! builder.barrier();
+//! builder.write(1, 40);
+//! builder.barrier();
+//! let trace = builder.finish();
+//!
+//! assert_eq!(trace.num_procs, 2);
+//! assert_eq!(trace.total_accesses(), 3);
+//! assert_eq!(trace.num_barriers(), 2);
+//! // Object 1 spans bytes 96..192, i.e. it straddles 128-byte lines 0 and 1.
+//! assert_eq!(trace.layout.units_of(1, 128), (0, 1));
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]

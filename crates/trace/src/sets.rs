@@ -163,9 +163,7 @@ impl SharingHistogram {
 
     /// Number of units that are write-shared (written by ≥1 and touched by ≥2).
     pub fn write_shared_units(&self) -> usize {
-        (0..self.num_units)
-            .filter(|&u| self.sharers[u] >= 2 && self.writers[u] >= 1)
-            .count()
+        (0..self.num_units).filter(|&u| self.sharers[u] >= 2 && self.writers[u] >= 1).count()
     }
 
     /// Number of units flagged as falsely shared.
@@ -257,8 +255,7 @@ mod tests {
         let l = layout();
         let per_proc: Vec<UnitAccessSets> = (0..8)
             .map(|p| {
-                let accesses: Vec<Access> =
-                    (0..8).map(|i| Access::write(p * 8 + i)).collect();
+                let accesses: Vec<Access> = (0..8).map(|i| Access::write(p * 8 + i)).collect();
                 UnitAccessSets::from_accesses(&accesses, &l, 512)
             })
             .collect();

@@ -86,19 +86,12 @@ impl ProgramTrace {
     /// Total number of barriers in the trace (intervals closed by a barrier, plus the
     /// implicit final one if the last interval is non-empty).
     pub fn num_barriers(&self) -> usize {
-        self.intervals
-            .iter()
-            .filter(|i| matches!(i.closing_sync, SyncEvent::Barrier))
-            .count()
+        self.intervals.iter().filter(|i| matches!(i.closing_sync, SyncEvent::Barrier)).count()
     }
 
     /// Total number of lock acquisitions in the trace.
     pub fn num_lock_acquisitions(&self) -> u64 {
-        self.intervals
-            .iter()
-            .flat_map(|i| i.lock_acquisitions.iter())
-            .map(|&l| u64::from(l))
-            .sum()
+        self.intervals.iter().flat_map(|i| i.lock_acquisitions.iter()).map(|&l| u64::from(l)).sum()
     }
 
     /// The ordered access stream of processor `p` across the whole program (intervals

@@ -19,6 +19,18 @@
 //! and remaps the edge and face endpoint indices.  The paper's finding: column ordering
 //! is best on page-based software DSM, Hilbert on hardware shared memory, and both
 //! roughly double the speedup over the original random ordering.
+//!
+//! ```
+//! use reorder::Method;
+//! use unstructured::{Unstructured, UnstructuredParams};
+//!
+//! let mut app = Unstructured::generated(512, 21, UnstructuredParams::default());
+//! let nodes = app.num_nodes();
+//! app.reorder(Method::Column);
+//! assert_eq!(app.num_nodes(), nodes, "reordering permutes, never drops nodes");
+//! let trace = app.trace_sweeps(1, 4);
+//! assert!(trace.total_accesses() > 0);
+//! ```
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -168,8 +180,9 @@ impl Unstructured {
         let mut delta = vec![0.0f64; self.nodes.len()];
         for &(a, b) in &self.edges {
             let (a, b) = (a as usize, b as usize);
-            let flux =
-                self.params.edge_coeff * self.edge_weight(a, b) * (self.nodes[b].value - self.nodes[a].value);
+            let flux = self.params.edge_coeff
+                * self.edge_weight(a, b)
+                * (self.nodes[b].value - self.nodes[a].value);
             delta[a] += flux;
             delta[b] -= flux;
         }
@@ -187,7 +200,8 @@ impl Unstructured {
 
     fn apply_deltas(&mut self, delta: &[f64]) {
         for (n, d) in self.nodes.iter_mut().zip(delta) {
-            n.value = self.params.relaxation * (n.value + d) + (1.0 - self.params.relaxation) * n.value;
+            n.value =
+                self.params.relaxation * (n.value + d) + (1.0 - self.params.relaxation) * n.value;
         }
     }
 
@@ -397,10 +411,7 @@ mod tests {
         let mut a = small(6);
         let mut b = a.clone();
         let span = |app: &Unstructured| {
-            app.edges
-                .iter()
-                .map(|&(x, y)| (f64::from(x) - f64::from(y)).abs())
-                .sum::<f64>()
+            app.edges.iter().map(|&(x, y)| (f64::from(x) - f64::from(y)).abs()).sum::<f64>()
                 / app.edges.len() as f64
         };
         let span_before = span(&b);
@@ -422,16 +433,16 @@ mod tests {
     fn column_reordering_reduces_edge_index_span_too() {
         let mut app = small(7);
         let span = |app: &Unstructured| {
-            app.edges
-                .iter()
-                .map(|&(x, y)| (f64::from(x) - f64::from(y)).abs())
-                .sum::<f64>()
+            app.edges.iter().map(|&(x, y)| (f64::from(x) - f64::from(y)).abs()).sum::<f64>()
                 / app.edges.len() as f64
         };
         let before = span(&app);
         app.reorder(Method::Column);
         let after = span(&app);
-        assert!(after < before / 2.0, "column order should shrink the edge span: {before} -> {after}");
+        assert!(
+            after < before / 2.0,
+            "column order should shrink the edge span: {before} -> {after}"
+        );
     }
 
     #[test]

@@ -160,10 +160,7 @@ impl UnstructuredMesh {
             return 0.0;
         }
         let n = self.num_nodes() as f64;
-        self.edges
-            .iter()
-            .map(|&(a, b)| (f64::from(a) - f64::from(b)).abs())
-            .sum::<f64>()
+        self.edges.iter().map(|&(a, b)| (f64::from(a) - f64::from(b)).abs()).sum::<f64>()
             / self.edges.len() as f64
             / n
     }

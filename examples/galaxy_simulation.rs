@@ -14,9 +14,13 @@ use datareorder::nbody::{BarnesHut, BarnesHutParams};
 use datareorder::reorder::Method;
 use std::time::Instant;
 
+#[cfg_attr(test, allow(dead_code))]
 fn main() {
-    let n = 16_384;
-    let steps = 3;
+    run(16_384, 3);
+}
+
+/// The whole comparison at a given body count and step count.
+fn run(n: usize, steps: usize) {
     println!("Barnes-Hut, {n} bodies (two-Plummer galaxies), {steps} time steps\n");
 
     for reordered in [false, true] {
@@ -51,4 +55,12 @@ fn main() {
     }
     println!("\nThe reordered run writes each page from far fewer processors, which is what cuts");
     println!("the DSM messages and data volume (Figures 2/5 and Table 3 of the paper).");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::run(512, 1);
+    }
 }

@@ -14,15 +14,17 @@ use datareorder::unstructured::{Unstructured, UnstructuredParams};
 use std::time::Instant;
 
 fn edge_span(app: &Unstructured) -> f64 {
-    app.edges
-        .iter()
-        .map(|&(a, b)| (f64::from(a) - f64::from(b)).abs())
-        .sum::<f64>()
+    app.edges.iter().map(|&(a, b)| (f64::from(a) - f64::from(b)).abs()).sum::<f64>()
         / app.edges.len() as f64
 }
 
+#[cfg_attr(test, allow(dead_code))]
 fn main() {
-    let target_nodes = 10_000;
+    run(10_000, 10);
+}
+
+/// The whole comparison at a given mesh size and sweep count.
+fn run(target_nodes: usize, sweeps: usize) {
     println!("Unstructured mesh solver, ~{target_nodes} nodes (mesh.10k stand-in)\n");
     println!(
         "{:<10} {:>14} {:>14} {:>12} {:>12}",
@@ -46,7 +48,7 @@ fn main() {
         let trace = app.trace_sweeps(1, 16);
         let tmk = TreadMarksSim::new(DsmConfig::cluster(16)).run(&trace);
         let t0 = Instant::now();
-        for _ in 0..10 {
+        for _ in 0..sweeps {
             app.sweep_parallel(rayon::current_num_threads());
         }
         let wall = t0.elapsed().as_secs_f64();
@@ -59,4 +61,12 @@ fn main() {
     println!("\nAll three reorderings shrink the edge span and the DSM traffic relative to the");
     println!("original random order; column is the paper's recommendation for this Category-2");
     println!("application on page-based DSM, and RCM shows geometry is not strictly required.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::run(512, 1);
+    }
 }

@@ -14,8 +14,13 @@ use datareorder::memsim::OriginPreset;
 use datareorder::molecular::{Moldyn, MoldynParams};
 use datareorder::reorder::Method;
 
+#[cfg_attr(test, allow(dead_code))]
 fn main() {
-    let n = 8_000;
+    run(8_000);
+}
+
+/// The whole trade-off table at a given molecule count.
+fn run(n: usize) {
     let procs = 16;
     println!("Moldyn, {n} molecules, {procs} processors\n");
     println!(
@@ -45,6 +50,16 @@ fn main() {
         let est = NetworkCostModel::default().estimate(&tmk);
         println!("           estimated TreadMarks speedup: {:.2}", est.speedup);
     }
-    println!("\nExpected: column beats Hilbert on the page-based DSM columns, Hilbert beats column");
+    println!(
+        "\nExpected: column beats Hilbert on the page-based DSM columns, Hilbert beats column"
+    );
     println!("on the cache-line-grained hardware column — the paper's crossover in one table.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::run(500);
+    }
 }

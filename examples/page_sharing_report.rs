@@ -13,7 +13,7 @@ use datareorder::reorder::Method;
 use datareorder::smtrace::{ObjectLayout, ProgramTrace};
 use datareorder::unstructured::{Unstructured, UnstructuredParams};
 
-fn build(app: &str, ordering: &str, procs: usize) -> (ProgramTrace, ObjectLayout) {
+fn build(app: &str, ordering: &str, procs: usize, n: usize) -> (ProgramTrace, ObjectLayout) {
     let method = match ordering {
         "hilbert" => Some(Method::Hilbert),
         "column" => Some(Method::Column),
@@ -23,35 +23,35 @@ fn build(app: &str, ordering: &str, procs: usize) -> (ProgramTrace, ObjectLayout
     };
     match app {
         "fmm" => {
-            let mut sim = Fmm::two_plummer(8_192, 5, FmmParams::default());
+            let mut sim = Fmm::two_plummer(n, 5, FmmParams::default());
             if let Some(m) = method {
                 sim.reorder(m);
             }
             (sim.trace_iterations(1, procs), sim.layout())
         }
         "water" => {
-            let mut sim = WaterSpatial::lattice(4_096, 5, WaterSpatialParams::default());
+            let mut sim = WaterSpatial::lattice(n / 2, 5, WaterSpatialParams::default());
             if let Some(m) = method {
                 sim.reorder(m);
             }
             (sim.trace_steps(1, procs), sim.layout())
         }
         "moldyn" => {
-            let mut sim = Moldyn::lattice(8_000, 5, MoldynParams::default());
+            let mut sim = Moldyn::lattice(n, 5, MoldynParams::default());
             if let Some(m) = method {
                 sim.reorder(m);
             }
             (sim.trace_steps(1, procs), sim.layout())
         }
         "mesh" => {
-            let mut sim = Unstructured::generated(10_000, 5, UnstructuredParams::default());
+            let mut sim = Unstructured::generated(n, 5, UnstructuredParams::default());
             if let Some(m) = method {
                 sim.reorder(m);
             }
             (sim.trace_sweeps(1, procs), sim.layout())
         }
         _ => {
-            let mut sim = BarnesHut::two_plummer(16_384, 5, BarnesHutParams::default());
+            let mut sim = BarnesHut::two_plummer(2 * n, 5, BarnesHutParams::default());
             if let Some(m) = method {
                 sim.reorder(m);
             }
@@ -60,13 +60,18 @@ fn build(app: &str, ordering: &str, procs: usize) -> (ProgramTrace, ObjectLayout
     }
 }
 
+#[cfg_attr(test, allow(dead_code))]
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let app = args.get(1).map(String::as_str).unwrap_or("barnes").to_string();
     let ordering = args.get(2).map(String::as_str).unwrap_or("original").to_string();
     let procs: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(16);
+    run(&app, &ordering, procs, 8_192);
+}
 
-    let (trace, layout) = build(&app, &ordering, procs);
+/// The whole report for one (application, ordering, processors) pick at base size `n`.
+fn run(app: &str, ordering: &str, procs: usize, n: usize) {
+    let (trace, layout) = build(app, ordering, procs, n);
     let report = page_sharing(&trace, &layout, 8 * 1024);
     println!("application = {app}, ordering = {ordering}, processors = {procs}");
     println!(
@@ -85,7 +90,18 @@ fn main() {
     println!("\nwriters-per-page histogram:");
     for (writers, count) in histogram.iter().enumerate() {
         if *count > 0 {
-            println!("  {writers:>3} writers: {count:>5} pages  {}", "#".repeat((count * 60 / report.num_units.max(1)).max(1)));
+            println!(
+                "  {writers:>3} writers: {count:>5} pages  {}",
+                "#".repeat((count * 60 / report.num_units.max(1)).max(1))
+            );
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::run("barnes", "hilbert", 4, 256);
     }
 }

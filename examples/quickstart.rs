@@ -16,36 +16,40 @@ struct Body {
     mass: f64,
 }
 
+#[cfg_attr(test, allow(dead_code))]
 fn main() {
+    run(4096);
+}
+
+/// The whole walkthrough at a given particle count (the smoke test uses a tiny one).
+fn run(n: usize) {
     // 1. A particle set in random memory order (the benchmarks' starting condition).
-    let (positions, masses) = datareorder::workloads::two_plummer(4096, 3, 1.0, 6.0, 42);
-    let mut bodies: Vec<Body> = positions
-        .iter()
-        .zip(&masses)
-        .map(|(&pos, &mass)| Body { pos, mass })
-        .collect();
+    let (positions, masses) = datareorder::workloads::two_plummer(n, 3, 1.0, 6.0, 42);
+    let mut bodies: Vec<Body> =
+        positions.iter().zip(&masses).map(|(&pos, &mass)| Body { pos, mass }).collect();
 
     let spread = |bodies: &[Body]| -> f64 {
         bodies
             .windows(2)
             .map(|w| {
-                w[0].pos
-                    .iter()
-                    .zip(&w[1].pos)
-                    .map(|(a, b)| (a - b).powi(2))
-                    .sum::<f64>()
-                    .sqrt()
+                w[0].pos.iter().zip(&w[1].pos).map(|(a, b)| (a - b).powi(2)).sum::<f64>().sqrt()
             })
             .sum::<f64>()
             / (bodies.len() - 1) as f64
     };
-    println!("mean distance between array-adjacent bodies (original order): {:.3}", spread(&bodies));
+    println!(
+        "mean distance between array-adjacent bodies (original order): {:.3}",
+        spread(&bodies)
+    );
 
     // 2. The paper's one-call fix.  The returned `Reordering` also remaps any stored
     //    indices, had we kept an interaction list.
     let reordering = hilbert_reorder(&mut bodies, 3, |b, d| b.pos[d]);
     assert_eq!(reordering.method(), Method::Hilbert);
-    println!("mean distance between array-adjacent bodies (hilbert order):  {:.3}", spread(&bodies));
+    println!(
+        "mean distance between array-adjacent bodies (hilbert order):  {:.3}",
+        spread(&bodies)
+    );
 
     // 3. What that does to false sharing: how many 8 KB pages would each of 4
     //    processors write if they update contiguous quarters of the physical domain?
@@ -69,10 +73,21 @@ fn main() {
     for (i, b) in bodies.iter().enumerate() {
         pages_per_proc[quarter(b)].insert(layout.unit_of(i, 8192));
     }
-    println!("\npages written per processor after Hilbert reordering (out of {} total):", layout.num_units(8192));
+    println!(
+        "\npages written per processor after Hilbert reordering (out of {} total):",
+        layout.num_units(8192)
+    );
     for (p, pages) in pages_per_proc.iter().enumerate() {
         println!("  processor {p}: {} pages", pages.len());
     }
     println!("\nWith the original random order every processor would touch nearly every page;");
-    println!("run `cargo run --release -p repro-bench --bin fig02_05_page_sharing` for the full figure.");
+    println!("run `xp fig 2` (or `cargo run --release -p xp-cli -- fig 2`) for the full figure.");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn smoke() {
+        super::run(256);
+    }
 }

@@ -21,8 +21,22 @@
 //! cargo run --release --example quickstart
 //! ```
 //!
-//! and the experiment binaries in `crates/bench/src/bin/`, one per table and figure of
-//! the paper (see DESIGN.md for the index and EXPERIMENTS.md for recorded results).
+//! and the unified `xp` experiment runner (`cargo run --release -p xp-cli -- list`),
+//! which regenerates every table and figure of the paper; the legacy one-binary-per-
+//! experiment entry points in `crates/bench/src/bin/` delegate to the same specs (see
+//! DESIGN.md for the index and EXPERIMENTS.md for recorded results).
+//!
+//! The paper's "one library call" experience, through the umbrella crate:
+//!
+//! ```
+//! use datareorder::reorder::{hilbert_reorder, Method};
+//!
+//! let (positions, _masses) = datareorder::workloads::two_plummer(64, 3, 1.0, 6.0, 1);
+//! let mut bodies: Vec<[f64; 3]> = positions;
+//! let reordering = hilbert_reorder(&mut bodies, 3, |b, d| b[d]);
+//! assert_eq!(reordering.method(), Method::Hilbert);
+//! assert_eq!(reordering.len(), 64);
+//! ```
 
 #![forbid(unsafe_code)]
 

@@ -115,7 +115,11 @@ fn every_application_improves_on_both_dsm_models() {
     let cost = NetworkCostModel::default();
 
     // (name, original trace+layout, reordered trace+layout) triples, built per app.
-    let mut cases: Vec<(&str, datareorder::smtrace::ProgramTrace, datareorder::smtrace::ProgramTrace)> = Vec::new();
+    let mut cases: Vec<(
+        &str,
+        datareorder::smtrace::ProgramTrace,
+        datareorder::smtrace::ProgramTrace,
+    )> = Vec::new();
 
     {
         let mut a = BarnesHut::two_plummer(4_096, 11, BarnesHutParams::default());
