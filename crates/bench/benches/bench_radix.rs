@@ -1,0 +1,74 @@
+//! Criterion bench for the ranking pipeline itself: comparison sort vs LSD radix sort
+//! (u64 and u128 keys, serial and parallel) and clone-gather vs cycle-following
+//! permutation application.  `xp bench reorder-cost` reports the same quantities as a
+//! recorded experiment; this bench is the developer-loop view of them.
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use reorder::permute::Permutation;
+use reorder::{pack_keys, rank_radix, sort_keys, KeyWidth, Method, Quantizer};
+use workloads::two_plummer;
+
+const N: usize = 65_536;
+
+fn flat_coords(points: &[[f64; 3]]) -> Vec<f64> {
+    points.iter().flat_map(|p| p.iter().copied()).collect()
+}
+
+fn bench_rank(c: &mut Criterion) {
+    let (points, _) = two_plummer(N, 3, 1.0, 6.0, 9);
+    let coords = flat_coords(&points);
+    let quantizer = Quantizer::fit(N, 3, |i, d| coords[i * 3 + d]);
+    let keys = sort_keys(Method::Hilbert, N, 3, &quantizer, |i, d| coords[i * 3 + d]);
+    let narrow = match pack_keys(Method::Hilbert, 3, &quantizer, &coords, KeyWidth::Auto, false) {
+        reorder::PackedKeys::U64(k) => k,
+        reorder::PackedKeys::U128(_) => unreachable!("3 x 21-bit keys fit in u64"),
+    };
+    let wide: Vec<u128> = narrow.iter().map(|&k| u128::from(k)).collect();
+
+    let mut group = c.benchmark_group("rank");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("comparison_u128", N), &keys, |b, keys| {
+        b.iter(|| Permutation::from_sort_keys_comparison(keys))
+    });
+    for parallel in [false, true] {
+        let label = if parallel { "parallel" } else { "serial" };
+        group.bench_with_input(
+            BenchmarkId::new(format!("radix_u64_{label}"), N),
+            &narrow,
+            |b, k| b.iter(|| rank_radix(k, parallel)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new(format!("radix_u128_{label}"), N),
+            &wide,
+            |b, k| b.iter(|| rank_radix(k, parallel)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_permute(c: &mut Criterion) {
+    let (points, masses) = two_plummer(N, 3, 1.0, 6.0, 9);
+    let coords = flat_coords(&points);
+    let quantizer = Quantizer::fit(N, 3, |i, d| coords[i * 3 + d]);
+    let p = pack_keys(Method::Hilbert, 3, &quantizer, &coords, KeyWidth::Auto, false).rank(false);
+
+    let mut group = c.benchmark_group("permute");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("gather_cloned", N), &points, |b, points| {
+        b.iter(|| p.apply_cloned(points))
+    });
+    group.bench_with_input(BenchmarkId::new("in_place", N), &points, |b, points| {
+        b.iter_batched(|| points.to_vec(), |mut v| p.apply_in_place(&mut v), BatchSize::LargeInput)
+    });
+    group.bench_with_input(BenchmarkId::new("soa_two_columns", N), &points, |b, points| {
+        b.iter_batched(
+            || (points.to_vec(), masses.clone()),
+            |(mut pos, mut mass)| p.apply_columns(&mut [&mut pos, &mut mass]),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rank, bench_permute);
+criterion_main!(benches);

@@ -12,8 +12,10 @@ use dsm::{DsmConfig, HlrcSim, NetworkCostModel, PageWriteHistory, TreadMarksSim}
 use memsim::{page_sharing, page_update_map, CostModel, OriginPreset};
 use molecular::{Moldyn, MoldynParams};
 use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
-use reorder::{compute_reordering_from_points, Method};
+use reorder::permute::Permutation;
+use reorder::{compute_reordering_from_points, pack_keys, sort_keys, KeyWidth, Method, Quantizer};
 use smtrace::ObjectLayout;
+use workloads::{cubic_lattice, two_plummer, UnstructuredMesh};
 
 use crate::row;
 use crate::runner::{run_cells, ExperimentSpec, Format, Row, RunConfig};
@@ -166,6 +168,24 @@ pub static EXPERIMENTS: &[ExperimentSpec] = &[
             "extra locality for proportionally more reordering time.",
         ],
         run: run_ablation_reorder_frequency,
+    },
+    ExperimentSpec {
+        id: "bench_reorder_cost",
+        aliases: &["reorder-cost", "reorder_cost", "bench-reorder-cost"],
+        title: "Reorder-cost bench: sort + permute throughput of the ranking pipelines (Hilbert keys)",
+        columns: &[
+            "workload", "n", "pipeline", "key_bits", "threads", "key_ms", "rank_ms",
+            "permute_ms", "sort_mobj_s", "permute_mobj_s",
+        ],
+        notes: &[
+            "Pipelines: `comparison` is the serial baseline (u128 (key, object) tuples through",
+            "sort_by_key + clone-the-world gather); `radix*` is the packed-key LSD radix sort",
+            "with cycle-following in-place permutation.  Expected shape: radix beats comparison",
+            "by several-fold on every workload; u64 keys beat forced u128 keys; the parallel",
+            "rows add near-linear speedup on multi-core hosts (identical permutations are",
+            "asserted across all pipelines).  Cells run sequentially for honest wall-clock.",
+        ],
+        run: run_bench_reorder_cost,
     },
     ExperimentSpec {
         id: "ablation_unit_sweep",
@@ -600,6 +620,117 @@ fn run_ablation_reorder_frequency(cfg: &RunConfig) -> Vec<Row> {
         .collect()
 }
 
+/// Time one ranking pipeline over a flat coordinate buffer.  Returns
+/// (key_ms, rank_ms, permute_ms, permutation) where the permute phase uses the
+/// clone-the-world gather for the comparison baseline and the in-place cycle walk for
+/// the radix pipelines.
+fn time_pipeline(
+    pipeline: &str,
+    points: &[[f64; 3]],
+    coords: &[f64],
+    quantizer: &Quantizer,
+    width: KeyWidth,
+    parallel: bool,
+) -> (f64, f64, f64, Permutation) {
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+    if pipeline == "comparison" {
+        let t0 = Instant::now();
+        let keys = sort_keys(Method::Hilbert, points.len(), 3, quantizer, |i, d| coords[i * 3 + d]);
+        let key_ms = ms(t0);
+        let t0 = Instant::now();
+        let permutation = Permutation::from_sort_keys_comparison(&keys);
+        let rank_ms = ms(t0);
+        let objects = points.to_vec();
+        let t0 = Instant::now();
+        let gathered = permutation.apply_cloned(&objects);
+        let permute_ms = ms(t0);
+        assert_eq!(gathered.len(), points.len());
+        (key_ms, rank_ms, permute_ms, permutation)
+    } else {
+        let t0 = Instant::now();
+        let keys = pack_keys(Method::Hilbert, 3, quantizer, coords, width, parallel);
+        let key_ms = ms(t0);
+        let t0 = Instant::now();
+        let permutation = keys.rank(parallel);
+        let rank_ms = ms(t0);
+        let mut objects = points.to_vec();
+        let t0 = Instant::now();
+        permutation.apply_in_place(&mut objects);
+        let permute_ms = ms(t0);
+        assert_eq!(objects.len(), points.len());
+        (key_ms, rank_ms, permute_ms, permutation)
+    }
+}
+
+fn run_bench_reorder_cost(cfg: &RunConfig) -> Vec<Row> {
+    let n = match cfg.scale {
+        Scale::Tiny => 20_000,
+        Scale::Small => 200_000,
+        Scale::Paper => 1_000_000,
+    };
+    let seed = cfg.seed_or(41);
+    let workloads: Vec<(&str, Vec<[f64; 3]>)> = vec![
+        ("plummer", two_plummer(n, 3, 1.0, 6.0, seed).0),
+        ("mesh", UnstructuredMesh::with_approx_nodes(n, 0.25, seed).positions),
+        ("lattice", cubic_lattice(n, 12.0, 0.3, seed)),
+    ];
+    let threads = rayon::current_num_threads();
+    // (pipeline label, key width, parallel) — `comparison` ignores width/parallel.
+    let pipelines: [(&str, KeyWidth, bool); 5] = [
+        ("comparison", KeyWidth::Wide, false),
+        ("radix_serial", KeyWidth::Auto, false),
+        ("radix_parallel", KeyWidth::Auto, true),
+        ("radix_serial_wide", KeyWidth::Wide, false),
+        ("radix_parallel_wide", KeyWidth::Wide, true),
+    ];
+    // This is a wall-clock-timing experiment: cells run *sequentially* so each
+    // pipeline gets the whole machine (like the reorder-frequency ablation).
+    let mut rows = Vec::new();
+    for (workload, points) in &workloads {
+        let n = points.len();
+        let coords: Vec<f64> = points.iter().flat_map(|p| p.iter().copied()).collect();
+        let quantizer = Quantizer::fit(n, 3, |i, d| coords[i * 3 + d]);
+        let mut baseline: Option<Permutation> = None;
+        for (pipeline, width, parallel) in pipelines {
+            let (key_ms, rank_ms, permute_ms, permutation) =
+                time_pipeline(pipeline, points, &coords, &quantizer, width, parallel);
+            // Every pipeline must produce the same permutation as the baseline; a
+            // divergence here is a correctness bug, not a performance difference.
+            match &baseline {
+                None => baseline = Some(permutation),
+                Some(b) => assert_eq!(
+                    b.ranks(),
+                    permutation.ranks(),
+                    "{pipeline} diverged from the comparison baseline on {workload}"
+                ),
+            }
+            let key_bits: i64 = if pipeline == "comparison" {
+                128
+            } else {
+                match width {
+                    KeyWidth::Auto => 64,
+                    KeyWidth::Wide => 128,
+                }
+            };
+            let sort_mobj_s = n as f64 / ((key_ms + rank_ms) * 1e-3) / 1e6;
+            let permute_mobj_s = n as f64 / (permute_ms * 1e-3) / 1e6;
+            rows.push(row![
+                *workload,
+                n,
+                pipeline,
+                key_bits,
+                if parallel { threads } else { 1 },
+                key_ms,
+                rank_ms,
+                permute_ms,
+                sort_mobj_s,
+                permute_mobj_s
+            ]);
+        }
+    }
+    rows
+}
+
 fn run_ablation_unit_sweep(cfg: &RunConfig) -> Vec<Row> {
     let n = if cfg.scale == Scale::Paper { 32_000 } else { 6_000 };
     let procs = cfg.procs_or(16);
@@ -641,7 +772,7 @@ mod tests {
                 assert!(seen.insert(alias), "duplicate alias {alias}");
             }
         }
-        assert_eq!(all().len(), 12, "one spec per legacy binary");
+        assert_eq!(all().len(), 13, "12 legacy specs + the reorder-cost bench");
     }
 
     #[test]
@@ -663,6 +794,19 @@ mod tests {
         for row in &result.rows {
             assert_eq!(row.cells.len(), 3);
         }
+    }
+
+    #[test]
+    fn reorder_cost_bench_produces_all_pipeline_rows() {
+        let spec = find("reorder-cost").unwrap();
+        assert_eq!(spec.id, "bench_reorder_cost");
+        let result = spec.execute(&RunConfig { scale: Scale::Tiny, procs: None, seed: None });
+        // 3 workloads × 5 pipelines; the run itself asserts that every pipeline
+        // produced the identical permutation.
+        assert_eq!(result.rows.len(), 15);
+        let json = result.render(Format::Json);
+        assert!(json.contains("\"pipeline\": \"radix_parallel\""));
+        assert!(json.contains("\"key_bits\": 64"));
     }
 
     #[test]

@@ -106,6 +106,9 @@ impl Ordering {
 /// Problem sizes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// Smoke-test sizes: every experiment finishes in well under a second (used by
+    /// the CI `xp bench reorder-cost --scale tiny` step).
+    Tiny,
     /// Reduced sizes so every binary runs in seconds (default).
     Small,
     /// The paper's Table 1 sizes (65 536 bodies, 32 768 molecules, …).
@@ -125,6 +128,11 @@ impl Scale {
     /// Object count for an application at this scale.
     pub fn size_of(self, app: AppKind) -> usize {
         match (self, app) {
+            (Scale::Tiny, AppKind::BarnesHut) => 2_048,
+            (Scale::Tiny, AppKind::Fmm) => 1_024,
+            (Scale::Tiny, AppKind::WaterSpatial) => 1_024,
+            (Scale::Tiny, AppKind::Moldyn) => 1_500,
+            (Scale::Tiny, AppKind::Unstructured) => 512,
             (Scale::Paper, AppKind::BarnesHut) => 65_536,
             (Scale::Paper, AppKind::Fmm) => 65_536,
             (Scale::Paper, AppKind::WaterSpatial) => 32_768,
@@ -301,6 +309,7 @@ mod tests {
         assert_eq!(Scale::Paper.size_of(AppKind::Moldyn), 32_000);
         assert!(Scale::Paper.size_of(AppKind::Unstructured) >= 10_000);
         for app in AppKind::ALL {
+            assert!(Scale::Tiny.size_of(app) < Scale::Small.size_of(app));
             assert!(Scale::Small.size_of(app) < Scale::Paper.size_of(app));
         }
     }

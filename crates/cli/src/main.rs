@@ -6,13 +6,14 @@
 //! xp table <1|2|3|4>                  one table of the paper
 //! xp fig <1..9>                       one figure (paired figures share a spec)
 //! xp ablation <reorder-frequency|unit-sweep>
+//! xp bench <reorder-cost>             performance benches (sort/permute throughput)
 //! xp run <id>                         any experiment by id or alias
 //! xp sweep                            every experiment (writes one artifact each)
 //! xp list                             what exists, with ids and aliases
 //! ```
 //!
 //! Options (after the subcommand): `--format text|json|csv`, `--out PATH` (for
-//! `sweep`: a directory), `--scale small|paper`, `--procs N`, `--seed N`.
+//! `sweep`: a directory), `--scale tiny|small|paper`, `--procs N`, `--seed N`.
 //! Cells of each experiment's method × workload × substrate matrix run in parallel
 //! on all host cores (cap with `RAYON_NUM_THREADS`).
 
@@ -30,6 +31,7 @@ USAGE:
     xp table <1|2|3|4>        [options]
     xp fig <1|2|...|9>        [options]
     xp ablation <name>        [options]   (reorder-frequency | unit-sweep)
+    xp bench <name>           [options]   (reorder-cost)
     xp run <id-or-alias>      [options]
     xp sweep                  [options]   run every experiment
     xp list                               list experiments
@@ -37,7 +39,7 @@ USAGE:
 OPTIONS:
     --format <text|json|csv>  output format (default: text)
     --out <path>              write output to a file (sweep: to a directory)
-    --scale <small|paper>     problem sizes (default: small, or REPRO_FULL=1)
+    --scale <tiny|small|paper> problem sizes (default: small, or REPRO_FULL=1)
     --procs <N>               override the virtual-processor count
     --seed <N>                override the workload seed
     -h, --help                this help
@@ -71,6 +73,7 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
             "--out" => out = Some(PathBuf::from(value_for("--out")?)),
             "--scale" => {
                 config.scale = match value_for("--scale")?.as_str() {
+                    "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "paper" | "full" => Scale::Paper,
                     other => return Err(format!("unknown scale {other:?}")),
@@ -171,7 +174,7 @@ fn main() -> ExitCode {
             };
             (format!("{command}{number}"), &args[2..])
         }
-        "ablation" | "run" => {
+        "ablation" | "bench" | "run" => {
             let Some(name) = args.get(1) else {
                 return fail(&format!("`xp {command}` needs an experiment name"));
             };

@@ -7,9 +7,10 @@
 //! the blocks on [`std::thread::scope`] threads, so the applications' `step_parallel`
 //! paths genuinely use all host cores.
 //!
-//! Only the adapters the workspace calls are provided: `par_iter`, `par_iter_mut`,
-//! `par_chunks`, `into_par_iter` (on ranges and vectors), and the `map` /
-//! `flat_map_iter` / `zip` / `for_each` / `collect` combinators.  Unlike rayon proper,
+//! Only the adapters the workspace calls are provided: `join`, `par_iter`,
+//! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter` (on ranges and
+//! vectors), and the `map` / `flat_map_iter` / `zip` / `for_each` / `reduce` /
+//! `collect` combinators.  Unlike rayon proper,
 //! adapters are *eager*: each combinator that does per-item work runs it in parallel
 //! immediately and materializes the results, which keeps the implementation tiny at the
 //! cost of one intermediate `Vec` per stage.  All call sites in this workspace use
@@ -41,6 +42,29 @@ pub fn current_num_threads() -> usize {
                 std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
             })
     })
+}
+
+/// Run two closures, potentially on separate worker threads, and return both results
+/// (rayon's `join`).
+///
+/// On a single-threaded configuration the closures run sequentially on the calling
+/// thread; otherwise `b` runs on a scoped thread while `a` runs on the caller.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        (a(), b())
+    } else {
+        std::thread::scope(|scope| {
+            let handle = scope.spawn(b);
+            let ra = a();
+            (ra, handle.join().expect("rayon-shim join worker panicked"))
+        })
+    }
 }
 
 /// Split `items` into at most `parts` contiguous runs of near-equal length.
@@ -122,6 +146,20 @@ impl<T: Send> ParIter<T> {
         par_map_vec(self.items, f);
     }
 
+    /// Combine the items into one value (rayon's `reduce`).
+    ///
+    /// The per-item work was already done in parallel by the preceding adapter stage
+    /// (the shim's adapters are eager), so the final fold over the materialized
+    /// partials is serial — exactly the chunked map-reduce shape the radix-sort
+    /// pipeline needs (per-chunk histograms / maxima, then one cheap combine).
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> T
+    where
+        ID: FnOnce() -> T,
+        OP: FnMut(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+
     /// Collect the (already ordered) items.
     pub fn collect<C: FromIterator<T>>(self) -> C {
         self.items.into_iter().collect()
@@ -170,15 +208,23 @@ impl<T: Sync> ParallelSlice<T> for [T] {
     }
 }
 
-/// `par_iter_mut` on slices (rayon's `IntoParallelRefMutIterator`).
+/// `par_iter_mut` / `par_chunks_mut` on slices (rayon's `IntoParallelRefMutIterator` +
+/// the mutable half of `ParallelSlice`, collapsed into one trait).
 pub trait ParallelSliceMut<T: Send> {
     /// Parallel iterator over `&mut T`.
     fn par_iter_mut(&mut self) -> ParIter<&mut T>;
+    /// Parallel iterator over contiguous `&mut [T]` chunks of length `chunk_size`.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
     fn par_iter_mut(&mut self) -> ParIter<&mut T> {
         ParIter { items: self.iter_mut().collect() }
+    }
+
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        ParIter { items: self.chunks_mut(chunk_size).collect() }
     }
 }
 
@@ -229,6 +275,33 @@ mod tests {
     #[test]
     fn thread_count_is_positive() {
         assert!(current_num_threads() >= 1);
+    }
+
+    #[test]
+    fn join_runs_both_closures() {
+        let (a, b) = join(|| 6 * 7, || "ok".to_string());
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn reduce_combines_chunk_partials() {
+        let v: Vec<u64> = (1..=1000).collect();
+        let total = v.par_chunks(128).map(|c| c.iter().sum::<u64>()).reduce(|| 0, |a, b| a + b);
+        assert_eq!(total, 1000 * 1001 / 2);
+        let max = v.par_iter().map(|&x| x).reduce(|| 0, u64::max);
+        assert_eq!(max, 1000);
+    }
+
+    #[test]
+    fn par_chunks_mut_writes_disjoint_chunks() {
+        let mut v = vec![0usize; 1000];
+        v.par_chunks_mut(64).for_each(|chunk| {
+            for slot in chunk.iter_mut() {
+                *slot = 7;
+            }
+        });
+        assert!(v.iter().all(|&x| x == 7));
     }
 
     #[test]

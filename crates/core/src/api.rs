@@ -16,9 +16,11 @@
 //! remap index-based auxiliary structures (interaction lists, edge arrays) and, if
 //! desired, apply the same permutation to parallel arrays.
 
-use crate::keys::{sort_keys, Method};
+use crate::keys::{pack_keys, KeyWidth, Method};
 use crate::permute::Permutation;
 use crate::quantize::{BoundingBox, Quantizer, DEFAULT_BITS_PER_DIM};
+use crate::radix::PARALLEL_THRESHOLD;
+use crate::MAX_DIMS;
 
 /// Coordinate accessor type used by the slice-free entry point
 /// [`compute_reordering`]: `coord(i, d)` returns the `d`-th coordinate of object `i`.
@@ -72,6 +74,14 @@ impl std::ops::Deref for Reordering {
 ///
 /// This is the most general entry point; the convenience wrappers below use it.
 ///
+/// The pipeline makes exactly **one** pass through the user's coordinate accessor: a
+/// fused sweep caches every coordinate in a flat buffer while tracking the per-dimension
+/// min/max for the bounding box.  Key construction (quantize + encode, narrowed to
+/// `u64` keys when `dims * bits <= 64`) and the LSD radix ranking then run over that
+/// buffer — in parallel chunks on rayon worker threads once `n` reaches
+/// [`PARALLEL_THRESHOLD`].  The resulting permutation is byte-identical to the serial
+/// comparison-sort pipeline (see the proptest equivalence suite).
+///
 /// # Panics
 /// Panics if `n == 0`, `dims == 0` or `dims > `[`crate::MAX_DIMS`], or if any
 /// coordinate is not finite.
@@ -79,11 +89,32 @@ pub fn compute_reordering<F>(method: Method, n: usize, dims: usize, mut coord: F
 where
     F: FnMut(usize, usize) -> f64,
 {
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!(n > 0, "cannot reorder zero objects");
+    // Fused sweep: cache the coordinates and compute the bounding box in one pass, so
+    // the (possibly expensive) accessor closure runs once per coordinate instead of
+    // twice and the encode phase can be chunked across threads.
+    let mut coords = Vec::with_capacity(n * dims);
+    let mut min = vec![f64::INFINITY; dims];
+    let mut max = vec![f64::NEG_INFINITY; dims];
+    for i in 0..n {
+        for d in 0..dims {
+            let c = coord(i, d);
+            assert!(c.is_finite(), "coordinate ({i}, {d}) = {c} is not finite");
+            coords.push(c);
+            if c < min[d] {
+                min[d] = c;
+            }
+            if c > max[d] {
+                max[d] = c;
+            }
+        }
+    }
     let bits = DEFAULT_BITS_PER_DIM.min(128 / dims as u32).min(32);
-    let bbox = BoundingBox::from_coords(n, dims, &mut coord);
-    let quantizer = Quantizer::new(bbox, bits);
-    let keys = sort_keys(method, n, dims, &quantizer, &mut coord);
-    let permutation = Permutation::from_sort_keys(&keys);
+    let quantizer = Quantizer::new(BoundingBox { min, max }, bits);
+    let parallel = n >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
+    let keys = pack_keys(method, dims, &quantizer, &coords, KeyWidth::Auto, parallel);
+    let permutation = keys.rank(parallel);
     Reordering { method, permutation, quantizer }
 }
 

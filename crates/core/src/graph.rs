@@ -26,24 +26,31 @@ impl Adjacency {
     /// # Panics
     /// Panics if an edge endpoint is `>= n`.
     pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
-        let mut degree = vec![0usize; n];
+        // Count degrees directly into offsets[1..], prefix-sum in place, then scatter
+        // using offsets[v] itself as the write cursor — two allocations total (offsets
+        // and neighbors), no separate degree or cursor arrays.
+        let mut offsets = vec![0usize; n + 1];
         for &(a, b) in edges {
             assert!(a < n && b < n, "edge ({a}, {b}) out of range for {n} objects");
-            degree[a] += 1;
-            degree[b] += 1;
+            offsets[a + 1] += 1;
+            offsets[b + 1] += 1;
         }
-        let mut offsets = vec![0usize; n + 1];
-        for i in 0..n {
-            offsets[i + 1] = offsets[i] + degree[i];
+        for i in 1..=n {
+            offsets[i] += offsets[i - 1];
         }
-        let mut cursor = offsets.clone();
         let mut neighbors = vec![0usize; offsets[n]];
         for &(a, b) in edges {
-            neighbors[cursor[a]] = b;
-            cursor[a] += 1;
-            neighbors[cursor[b]] = a;
-            cursor[b] += 1;
+            neighbors[offsets[a]] = b;
+            offsets[a] += 1;
+            neighbors[offsets[b]] = a;
+            offsets[b] += 1;
         }
+        // The scatter advanced offsets[v] to the end of v's run (= the start of
+        // v + 1's); shift right to restore the start offsets.
+        for v in (1..=n).rev() {
+            offsets[v] = offsets[v - 1];
+        }
+        offsets[0] = 0;
         Adjacency { offsets, neighbors }
     }
 

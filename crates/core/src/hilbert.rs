@@ -35,6 +35,35 @@ use crate::MAX_DIMS;
 /// assert_eq!(hilbert_encode(&[1, 0], 1), 3);
 /// ```
 pub fn hilbert_encode(coords: &[u32], bits: u32) -> u128 {
+    let x = transposed(coords, bits);
+    interleave_transpose(&x[..coords.len()], bits)
+}
+
+/// Narrow-key variant of [`hilbert_encode`] used by the radix-sort pipeline when
+/// `dims * bits <= 64`: identical curve, but the transposed bits are interleaved in
+/// `u64` arithmetic so the subsequent radix sort works on half-width keys.
+///
+/// # Panics
+/// Same conditions as [`hilbert_encode`] except the width bound is `dims * bits <= 64`.
+pub fn hilbert_encode_u64(coords: &[u32], bits: u32) -> u64 {
+    assert!(
+        coords.len() as u32 * bits <= 64,
+        "dims * bits must be <= 64 for the narrow encoding (got {} * {bits})",
+        coords.len()
+    );
+    let x = transposed(coords, bits);
+    let mut index: u64 = 0;
+    for b in (0..bits).rev() {
+        for xi in &x[..coords.len()] {
+            index = (index << 1) | u64::from((xi >> b) & 1);
+        }
+    }
+    index
+}
+
+/// Validate the inputs and run Skilling's `AxestoTranspose`, returning the transposed
+/// representation; shared by the wide and narrow encoders.
+fn transposed(coords: &[u32], bits: u32) -> [u32; MAX_DIMS] {
     validate(coords.len(), bits);
     for (d, &c) in coords.iter().enumerate() {
         assert!(
@@ -45,7 +74,7 @@ pub fn hilbert_encode(coords: &[u32], bits: u32) -> u128 {
     let mut x: [u32; MAX_DIMS] = [0; MAX_DIMS];
     x[..coords.len()].copy_from_slice(coords);
     axes_to_transpose(&mut x[..coords.len()], bits);
-    interleave_transpose(&x[..coords.len()], bits)
+    x
 }
 
 /// Decode a Hilbert-curve index back into grid coordinates.
@@ -153,17 +182,12 @@ fn transpose_to_axes(x: &mut [u32], bits: u32) {
 /// `(b * dims) + (dims - 1 - i)` of the result, i.e. axis 0 contributes the most
 /// significant bit of each group, matching the conventional Hilbert index.
 fn interleave_transpose(x: &[u32], bits: u32) -> u128 {
-    let dims = x.len();
     let mut index: u128 = 0;
     for b in (0..bits).rev() {
-        for (i, &xi) in x.iter().enumerate() {
-            index <<= 1;
-            index |= u128::from((xi >> b) & 1);
-            // Suppress the unused-variable lint for `i`; kept for clarity of the layout.
-            let _ = i;
+        for &xi in x {
+            index = (index << 1) | u128::from((xi >> b) & 1);
         }
     }
-    let _ = dims;
     index
 }
 
@@ -286,6 +310,27 @@ mod tests {
         let c = [u32::MAX, 0, u32::MAX / 2];
         let idx = hilbert_encode(&c, 32);
         assert_eq!(hilbert_decode(idx, 3, 32), c.to_vec());
+    }
+
+    #[test]
+    fn narrow_encoding_matches_wide_encoding() {
+        for x in 0..16u32 {
+            for y in 0..16u32 {
+                for z in (0..16u32).step_by(3) {
+                    let wide = hilbert_encode(&[x, y, z], 4);
+                    assert_eq!(u128::from(hilbert_encode_u64(&[x, y, z], 4)), wide);
+                }
+            }
+        }
+        // Full 64-bit occupancy: 2 dims x 32 bits.
+        let c = [u32::MAX, 12345];
+        assert_eq!(u128::from(hilbert_encode_u64(&c, 32)), hilbert_encode(&c, 32));
+    }
+
+    #[test]
+    #[should_panic(expected = "dims * bits must be <= 64")]
+    fn narrow_encoding_rejects_wide_keys() {
+        hilbert_encode_u64(&[0, 0, 0], 22);
     }
 
     #[test]

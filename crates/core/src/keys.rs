@@ -5,10 +5,14 @@
 //! actual objects are reordered according to the rank."  This module implements the
 //! first phase for all four orderings; [`crate::permute`] implements the second.
 
-use crate::hilbert::hilbert_encode;
-use crate::morton::morton_encode;
+use rayon::prelude::*;
+
+use crate::hilbert::{hilbert_encode, hilbert_encode_u64};
+use crate::morton::{morton_encode, morton_encode_u64};
+use crate::permute::Permutation;
 use crate::quantize::Quantizer;
-use crate::rowcol::{column_key, row_key};
+use crate::radix::rank_radix;
+use crate::rowcol::{column_key, column_key_u64, row_key, row_key_u64};
 use crate::MAX_DIMS;
 
 /// The data-reordering methods provided by the library.
@@ -74,6 +78,142 @@ pub fn key_for_cells(method: Method, cells: &[u32], bits: u32) -> u128 {
         Method::Column => column_key(cells, bits),
         Method::Row => row_key(cells, bits),
     }
+}
+
+/// Compute the narrow (`u64`) key of a single quantized grid point under `method`;
+/// bit-identical to the low half of [`key_for_cells`], valid when
+/// `cells.len() * bits <= 64`.
+pub fn key_for_cells_u64(method: Method, cells: &[u32], bits: u32) -> u64 {
+    match method {
+        Method::Hilbert => hilbert_encode_u64(cells, bits),
+        Method::Morton => morton_encode_u64(cells, bits),
+        Method::Column => column_key_u64(cells, bits),
+        Method::Row => row_key_u64(cells, bits),
+    }
+}
+
+/// Requested key width for [`pack_keys`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyWidth {
+    /// Narrow the key to `u64` whenever `dims * bits <= 64` (the common 2-D/3-D
+    /// case); fall back to `u128` otherwise.
+    Auto,
+    /// Always use `u128` keys (the pre-pipeline behaviour; kept selectable so the
+    /// reorder-cost bench can measure what narrowing buys).
+    Wide,
+}
+
+/// Densely packed per-object sort keys, at the width the ordering actually needs.
+///
+/// Produced by [`pack_keys`] from a cached coordinate buffer and consumed by
+/// [`PackedKeys::rank`], which runs the parallel LSD radix sort; together they form
+/// the allocation-lean fast path behind [`crate::compute_reordering`].
+#[derive(Debug, Clone)]
+pub enum PackedKeys {
+    /// Narrow keys (`dims * bits <= 64`): half the bytes to sort, half the worst-case
+    /// radix passes.
+    U64(Vec<u64>),
+    /// Full-width keys for high-dimensional or high-resolution orderings.
+    U128(Vec<u128>),
+}
+
+impl PackedKeys {
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        match self {
+            PackedKeys::U64(k) => k.len(),
+            PackedKeys::U128(k) => k.len(),
+        }
+    }
+
+    /// Whether there are no keys.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Width of the key representation in bits (64 or 128).
+    pub fn width_bits(&self) -> u32 {
+        match self {
+            PackedKeys::U64(_) => 64,
+            PackedKeys::U128(_) => 128,
+        }
+    }
+
+    /// Rank the keys into a [`Permutation`] with the LSD radix sort (objects ordered
+    /// by ascending key, ties broken by object index); `parallel` selects worker
+    /// threads for the histogram/scatter phases without changing the result.
+    pub fn rank(&self, parallel: bool) -> Permutation {
+        match self {
+            PackedKeys::U64(k) => rank_radix(k, parallel),
+            PackedKeys::U128(k) => rank_radix(k, parallel),
+        }
+    }
+}
+
+/// Build one packed sort key per object from a flat row-major coordinate buffer
+/// (`coords[i * dims + d]` is coordinate `d` of object `i`), quantizing with
+/// `quantizer` and encoding under `method`.
+///
+/// With `parallel` set, the buffer is processed in contiguous chunks on rayon worker
+/// threads; the produced keys are identical either way.  Keys are narrowed to `u64`
+/// according to `width`.
+///
+/// # Panics
+/// Panics if `dims` is out of range or `coords.len()` is not a multiple of `dims`.
+pub fn pack_keys(
+    method: Method,
+    dims: usize,
+    quantizer: &Quantizer,
+    coords: &[f64],
+    width: KeyWidth,
+    parallel: bool,
+) -> PackedKeys {
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert_eq!(coords.len() % dims, 0, "coordinate buffer length must be a multiple of dims");
+    let bits = quantizer.bits();
+    let narrow = width == KeyWidth::Auto && dims as u32 * bits <= 64;
+    if narrow {
+        PackedKeys::U64(encode_rows(dims, quantizer, coords, parallel, |cells| {
+            key_for_cells_u64(method, cells, bits)
+        }))
+    } else {
+        PackedKeys::U128(encode_rows(dims, quantizer, coords, parallel, |cells| {
+            key_for_cells(method, cells, bits)
+        }))
+    }
+}
+
+/// Quantize + encode every coordinate row into `K` keys, chunked over worker threads
+/// when `parallel` is set.
+fn encode_rows<K, F>(
+    dims: usize,
+    quantizer: &Quantizer,
+    coords: &[f64],
+    parallel: bool,
+    encode: F,
+) -> Vec<K>
+where
+    K: Copy + Default + Send,
+    F: Fn(&[u32]) -> K + Sync,
+{
+    let n = coords.len() / dims;
+    let encode_chunk = |rows: &[f64], out: &mut [K]| {
+        let mut cells = [0u32; MAX_DIMS];
+        for (slot, row) in out.iter_mut().zip(rows.chunks_exact(dims)) {
+            quantizer.cells_row(row, &mut cells[..dims]);
+            *slot = encode(&cells[..dims]);
+        }
+    };
+    let mut out = vec![K::default(); n];
+    if parallel && n > 1 && rayon::current_num_threads() > 1 {
+        let rows_per_chunk = n.div_ceil(rayon::current_num_threads());
+        out.par_chunks_mut(rows_per_chunk)
+            .zip(coords.par_chunks(rows_per_chunk * dims))
+            .for_each(|(okeys, orows)| encode_chunk(orows, okeys));
+    } else {
+        encode_chunk(coords, &mut out);
+    }
+    out
 }
 
 /// Generate a sort key for each of `n` objects whose coordinates are produced by

@@ -8,6 +8,26 @@
 //! [`Permutation::remap_index`] and [`Permutation::remap_indices`] do exactly that.
 
 use crate::keys::SortKey;
+use crate::radix::{rank_radix, PARALLEL_THRESHOLD};
+
+/// One bit of cycle bookkeeping per object (the in-place appliers' only allocation).
+struct VisitedBits(Vec<u64>);
+
+impl VisitedBits {
+    fn new(n: usize) -> Self {
+        VisitedBits(vec![0u64; n.div_ceil(64)])
+    }
+
+    #[inline]
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] >> (i % 64) & 1 != 0
+    }
+
+    #[inline]
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+}
 
 /// A permutation of `n` objects, stored in both directions.
 ///
@@ -25,18 +45,68 @@ pub struct Permutation {
 
 impl Permutation {
     /// The identity permutation on `n` elements.
+    ///
+    /// The two direction arrays are built independently (no clone), and appliers use
+    /// [`Permutation::is_identity`] to skip no-op permutations entirely.
     pub fn identity(n: usize) -> Self {
-        let id: Vec<usize> = (0..n).collect();
-        Permutation { rank: id.clone(), perm: id }
+        Permutation { rank: (0..n).collect(), perm: (0..n).collect() }
+    }
+
+    /// Assemble a permutation from its two (already inverse) direction arrays.
+    ///
+    /// Callers (the radix ranking) guarantee bijectivity by construction; debug builds
+    /// re-check it.
+    pub(crate) fn from_parts(rank: Vec<usize>, perm: Vec<usize>) -> Self {
+        debug_assert_eq!(rank.len(), perm.len());
+        debug_assert!(rank.iter().enumerate().all(|(old, &r)| perm[r] == old));
+        Permutation { rank, perm }
     }
 
     /// Build a permutation by ranking sort keys: objects are ordered by ascending key,
     /// ties broken by original object index (so equal keys preserve their relative
     /// order, making the ranking stable and deterministic).
     ///
+    /// Internally this scatters the keys into object order and ranks them with the
+    /// parallel LSD radix sort ([`crate::radix::rank_radix`]), narrowing the key to
+    /// `u64` when every key fits; the result is byte-identical to
+    /// [`Permutation::from_sort_keys_comparison`].
+    ///
     /// # Panics
     /// Panics if the keys do not describe objects `0..n` exactly once.
     pub fn from_sort_keys(keys: &[SortKey]) -> Self {
+        let n = keys.len();
+        // Scatter keys positionally by object id, validating bijectivity; the stable
+        // radix sort then breaks key ties by position = object index, matching the
+        // comparison sort's (key, object) ordering.
+        let mut packed = vec![0u128; n];
+        let mut seen = VisitedBits::new(n);
+        let mut max_key = 0u128;
+        for k in keys {
+            let old = k.object;
+            assert!(old < n, "sort key refers to object {old} outside 0..{n}");
+            assert!(!seen.get(old), "object {old} appears in more than one sort key");
+            seen.set(old);
+            packed[old] = k.key;
+            max_key = max_key.max(k.key);
+        }
+        let parallel = n >= PARALLEL_THRESHOLD && rayon::current_num_threads() > 1;
+        if max_key <= u128::from(u64::MAX) {
+            let narrow: Vec<u64> = packed.iter().map(|&k| k as u64).collect();
+            rank_radix(&narrow, parallel)
+        } else {
+            rank_radix(&packed, parallel)
+        }
+    }
+
+    /// Reference implementation of [`Permutation::from_sort_keys`]: a serial
+    /// comparison sort over `(key, object)` tuples.
+    ///
+    /// Kept as the baseline the radix path is benchmarked (`xp bench reorder-cost`)
+    /// and property-tested against.
+    ///
+    /// # Panics
+    /// Panics if the keys do not describe objects `0..n` exactly once.
+    pub fn from_sort_keys_comparison(keys: &[SortKey]) -> Self {
         let n = keys.len();
         let mut order: Vec<usize> = (0..n).collect();
         order.sort_by_key(|&i| (keys[i].key, keys[i].object));
@@ -141,32 +211,86 @@ impl Permutation {
         self.perm.iter().map(|&old| objects[old].clone()).collect()
     }
 
-    /// Permute the object array in place using cycle decomposition; requires no `Clone`
-    /// and allocates only one bit per object for cycle bookkeeping.
+    /// Walk every non-trivial cycle of the permutation once, reporting each element
+    /// move as a `swap(a, b)` call; shared by all the in-place appliers.
     ///
-    /// # Panics
-    /// Panics if `objects.len()` differs from the permutation length.
-    pub fn apply_in_place<T>(&self, objects: &mut [T]) {
-        assert_eq!(objects.len(), self.len(), "object array length must match permutation");
-        let mut visited = vec![false; self.len()];
+    /// Allocates exactly one bit per object for cycle bookkeeping and skips entirely
+    /// when the permutation is the identity.
+    fn for_each_swap(&self, mut swap: impl FnMut(usize, usize)) {
+        if self.is_identity() {
+            return;
+        }
+        let mut visited = VisitedBits::new(self.len());
         for start in 0..self.len() {
-            if visited[start] || self.perm[start] == start {
-                visited[start] = true;
+            if visited.get(start) || self.perm[start] == start {
                 continue;
             }
             // Follow the cycle that starts at `start`, swapping elements into place.
             let mut current = start;
-            while !visited[current] {
-                visited[current] = true;
+            while !visited.get(current) {
+                visited.set(current);
                 let source = self.perm[current];
                 if source != start {
-                    objects.swap(current, source);
+                    swap(current, source);
                     current = source;
                 } else {
                     break;
                 }
             }
         }
+    }
+
+    /// Permute the object array in place using cycle decomposition; requires no `Clone`
+    /// and allocates only one bit per object for cycle bookkeeping.  The identity
+    /// permutation returns immediately without touching the array.
+    ///
+    /// # Panics
+    /// Panics if `objects.len()` differs from the permutation length.
+    pub fn apply_in_place<T>(&self, objects: &mut [T]) {
+        assert_eq!(objects.len(), self.len(), "object array length must match permutation");
+        self.for_each_swap(|a, b| objects.swap(a, b));
+    }
+
+    /// Permute an object array and one parallel auxiliary array in a single cycle
+    /// walk (one visited-bit allocation for both), e.g. positions plus per-object
+    /// masses, or bodies plus their interaction-list heads.
+    ///
+    /// # Panics
+    /// Panics if either slice's length differs from the permutation length.
+    pub fn apply_with_aux<T, U>(&self, objects: &mut [T], aux: &mut [U]) {
+        assert_eq!(objects.len(), self.len(), "object array length must match permutation");
+        assert_eq!(aux.len(), self.len(), "aux array length must match permutation");
+        self.for_each_swap(|a, b| {
+            objects.swap(a, b);
+            aux.swap(a, b);
+        });
+    }
+
+    /// Permute any number of parallel arrays (a structure-of-arrays bundle) in one
+    /// cycle walk: no clones, no gathers, one bit of bookkeeping per object shared by
+    /// all columns.
+    ///
+    /// ```
+    /// use reorder::permute::{Permutation, PermutableColumn};
+    ///
+    /// let p = Permutation::from_rank(vec![2, 0, 1]);
+    /// let (mut xs, mut ids) = (vec![10.0, 20.0, 30.0], vec![0u32, 1, 2]);
+    /// p.apply_columns(&mut [&mut xs, &mut ids]);
+    /// assert_eq!(xs, vec![20.0, 30.0, 10.0]);
+    /// assert_eq!(ids, vec![1, 2, 0]);
+    /// ```
+    ///
+    /// # Panics
+    /// Panics if any column's length differs from the permutation length.
+    pub fn apply_columns(&self, columns: &mut [&mut dyn PermutableColumn]) {
+        for column in columns.iter() {
+            assert_eq!(column.len(), self.len(), "column length must match permutation");
+        }
+        self.for_each_swap(|a, b| {
+            for column in columns.iter_mut() {
+                column.swap_elements(a, b);
+            }
+        });
     }
 
     /// Compose two permutations: applying the result is equivalent to applying `self`
@@ -178,6 +302,43 @@ impl Permutation {
         assert_eq!(self.len(), other.len(), "cannot compose permutations of different lengths");
         let rank: Vec<usize> = (0..self.len()).map(|old| other.rank[self.rank[old]]).collect();
         Permutation::from_rank(rank)
+    }
+}
+
+/// One column of a structure-of-arrays bundle, permutable by element swaps.
+///
+/// Implemented for vectors and mutable slices, so a heterogeneous set of parallel
+/// arrays (`Vec<f64>`, `Vec<u32>`, `&mut [Body]`, …) can be handed to
+/// [`Permutation::apply_columns`] as `&mut [&mut dyn PermutableColumn]` and permuted
+/// together in one cycle walk.
+pub trait PermutableColumn {
+    /// Number of elements in the column.
+    fn len(&self) -> usize;
+    /// Whether the column is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Swap the elements at positions `a` and `b`.
+    fn swap_elements(&mut self, a: usize, b: usize);
+}
+
+impl<T> PermutableColumn for Vec<T> {
+    fn len(&self) -> usize {
+        <[T]>::len(self)
+    }
+
+    fn swap_elements(&mut self, a: usize, b: usize) {
+        self.as_mut_slice().swap(a, b);
+    }
+}
+
+impl<T> PermutableColumn for &mut [T] {
+    fn len(&self) -> usize {
+        <[T]>::len(self)
+    }
+
+    fn swap_elements(&mut self, a: usize, b: usize) {
+        self.swap(a, b);
     }
 }
 
@@ -282,6 +443,68 @@ mod tests {
         let mut v: Vec<u8> = vec![];
         p.apply_in_place(&mut v);
         assert!(p.apply_cloned(&v).is_empty());
+    }
+
+    #[test]
+    fn radix_and_comparison_rankings_agree() {
+        // Keys in scrambled object order with duplicates: both paths must produce the
+        // same stable (key, object) ranking.
+        let sk = vec![
+            SortKey { object: 3, key: 5 },
+            SortKey { object: 0, key: 5 },
+            SortKey { object: 4, key: u128::from(u64::MAX) + 7 },
+            SortKey { object: 1, key: 0 },
+            SortKey { object: 2, key: 5 },
+        ];
+        let radix = Permutation::from_sort_keys(&sk);
+        let comparison = Permutation::from_sort_keys_comparison(&sk);
+        assert_eq!(radix, comparison);
+        assert_eq!(radix.sources(), &[1, 0, 2, 3, 4]);
+    }
+
+    #[test]
+    fn apply_with_aux_moves_both_arrays_together() {
+        let p = Permutation::from_sort_keys(&keys(&[4, 1, 3, 0, 2]));
+        let mut objects: Vec<usize> = (0..5).collect();
+        let mut aux: Vec<String> = (0..5).map(|i| format!("aux{i}")).collect();
+        p.apply_with_aux(&mut objects, &mut aux);
+        assert_eq!(objects, p.apply_cloned(&(0..5).collect::<Vec<_>>()));
+        for (o, a) in objects.iter().zip(&aux) {
+            assert_eq!(*a, format!("aux{o}"));
+        }
+    }
+
+    #[test]
+    fn apply_columns_matches_per_array_gather() {
+        let p = Permutation::from_sort_keys(&keys(&[9, 2, 7, 4, 0, 3]));
+        let mut a: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let mut b: Vec<u32> = (0..6).collect();
+        let mut c: Vec<(usize, bool)> = (0..6).map(|i| (i, i % 2 == 0)).collect();
+        let (ga, gb, gc) = (p.apply_cloned(&a), p.apply_cloned(&b), p.apply_cloned(&c));
+        p.apply_columns(&mut [&mut a, &mut b, &mut c]);
+        assert_eq!(a, ga);
+        assert_eq!(b, gb);
+        assert_eq!(c, gc);
+    }
+
+    #[test]
+    fn identity_appliers_do_not_move_anything() {
+        let p = Permutation::identity(8);
+        let mut v: Vec<u8> = (0..8).collect();
+        let mut aux: Vec<u8> = (10..18).collect();
+        p.apply_in_place(&mut v);
+        p.apply_with_aux(&mut v, &mut aux);
+        p.apply_columns(&mut [&mut v]);
+        assert_eq!(v, (0..8).collect::<Vec<_>>());
+        assert_eq!(aux, (10..18).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "column length must match")]
+    fn mismatched_column_panics() {
+        let p = Permutation::identity(3);
+        let mut short = vec![1u8, 2];
+        p.apply_columns(&mut [&mut short]);
     }
 
     #[test]

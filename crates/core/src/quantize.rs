@@ -154,6 +154,18 @@ impl Quantizer {
             *slot = self.cell(d, coord(i, d));
         }
     }
+
+    /// Quantize one point given as a coordinate row (`coords[d]`, already read out of
+    /// the caller's objects), writing the grid cell indices into `out`.
+    ///
+    /// This is the closure-free entry point the parallel key-construction pipeline
+    /// uses on its cached coordinate buffer; results are identical to calling
+    /// [`Quantizer::cell`] per dimension.
+    pub fn cells_row(&self, coords: &[f64], out: &mut [u32]) {
+        for (d, (slot, &value)) in out.iter_mut().zip(coords).enumerate() {
+            *slot = self.cell(d, value);
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,15 +45,48 @@ pub fn row_key(coords: &[u32], bits: u32) -> u128 {
     concat_key(coords, bits, true)
 }
 
+/// Narrow-key variant of [`column_key`] used by the radix-sort pipeline when
+/// `dims * bits <= 64`: same bit layout, concatenated in `u64` arithmetic.
+///
+/// # Panics
+/// Same conditions as [`column_key`] except the width bound is `dims * bits <= 64`.
+pub fn column_key_u64(coords: &[u32], bits: u32) -> u64 {
+    concat_key_u64(coords, bits, false)
+}
+
+/// Narrow-key variant of [`row_key`]; see [`column_key_u64`].
+pub fn row_key_u64(coords: &[u32], bits: u32) -> u64 {
+    concat_key_u64(coords, bits, true)
+}
+
+fn concat_key_u64(coords: &[u32], bits: u32, reverse: bool) -> u64 {
+    let dims = coords.len();
+    assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
+    assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
+    assert!(dims as u32 * bits <= 64, "dims * bits must be <= 64 for the narrow encoding");
+    let mut key: u64 = 0;
+    // Branchless dimension order (no boxed iterator: this runs once per object on the
+    // narrow-key hot path).
+    for i in 0..dims {
+        let d = if reverse { dims - 1 - i } else { i };
+        let c = coords[d];
+        assert!(
+            bits == 32 || u64::from(c) < (1u64 << bits),
+            "coordinate {c} in dimension {d} does not fit in {bits} bits"
+        );
+        key = (key << bits) | u64::from(c);
+    }
+    key
+}
+
 fn concat_key(coords: &[u32], bits: u32, reverse: bool) -> u128 {
     let dims = coords.len();
     assert!((1..=MAX_DIMS).contains(&dims), "dims must be in 1..={MAX_DIMS}, got {dims}");
     assert!((1..=32).contains(&bits), "bits must be in 1..=32, got {bits}");
     assert!(dims as u32 * bits <= 128, "dims * bits must be <= 128");
     let mut key: u128 = 0;
-    let order: Box<dyn Iterator<Item = usize>> =
-        if reverse { Box::new((0..dims).rev()) } else { Box::new(0..dims) };
-    for d in order {
+    for i in 0..dims {
+        let d = if reverse { dims - 1 - i } else { i };
         let c = coords[d];
         assert!(
             bits == 32 || u64::from(c) < (1u64 << bits),
@@ -163,6 +196,25 @@ mod tests {
                 assert_eq!(column_key(&[x, y], 3), row_key(&[y, x], 3));
             }
         }
+    }
+
+    #[test]
+    fn narrow_encodings_match_wide_encodings() {
+        for x in (0..1024u32).step_by(97) {
+            for y in (0..1024u32).step_by(61) {
+                for z in (0..1024u32).step_by(43) {
+                    let c = [x, y, z];
+                    assert_eq!(u128::from(column_key_u64(&c, 10)), column_key(&c, 10));
+                    assert_eq!(u128::from(row_key_u64(&c, 10)), row_key(&c, 10));
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dims * bits must be <= 64")]
+    fn narrow_encoding_rejects_wide_keys() {
+        column_key_u64(&[0, 0, 0], 25);
     }
 
     #[test]

@@ -8,7 +8,7 @@ use reorder::hilbert::{hilbert_decode, hilbert_encode};
 use reorder::morton::{morton_decode, morton_encode};
 use reorder::permute::Permutation;
 use reorder::rowcol::{column_decode, column_key, row_decode, row_key};
-use reorder::{compute_reordering, reorder_by_method, Method};
+use reorder::{compute_reordering, rank_radix, reorder_by_method, Method, SortKey};
 
 fn coords_strategy(dims: usize, bits: u32) -> impl Strategy<Value = Vec<u32>> {
     let max = if bits == 32 { u32::MAX } else { (1u32 << bits) - 1 };
@@ -159,6 +159,72 @@ proptest! {
         let second = reorder_by_method(method, &mut objects, 3, |o, d| o[d]);
         prop_assert!(second.is_identity());
         prop_assert_eq!(objects, snapshot);
+    }
+
+    #[test]
+    fn radix_ranking_is_byte_identical_to_comparison_ranking(
+        raw in prop::collection::vec(any::<u64>(), 1..400),
+        modulus in 1u64..32,
+        parallel in any::<bool>(),
+    ) {
+        // Reduce the keys modulo a small value so duplicate keys are guaranteed; the
+        // stable radix rank must still match the (key, object) comparison sort for
+        // both key widths, serial and parallel.
+        let keys: Vec<u64> = raw.iter().map(|&k| k % modulus).collect();
+        let sk: Vec<SortKey> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| SortKey { object: i, key: u128::from(k) })
+            .collect();
+        let comparison = Permutation::from_sort_keys_comparison(&sk);
+        let narrow = rank_radix(&keys, parallel);
+        prop_assert_eq!(narrow.ranks(), comparison.ranks());
+        let wide: Vec<u128> = keys.iter().map(|&k| u128::from(k)).collect();
+        let wide_rank = rank_radix(&wide, parallel);
+        prop_assert_eq!(wide_rank.ranks(), comparison.ranks());
+        // The public entry point (radix internally) agrees too.
+        prop_assert_eq!(Permutation::from_sort_keys(&sk).ranks(), comparison.ranks());
+    }
+
+    #[test]
+    fn radix_ranking_matches_comparison_on_full_width_keys(
+        keys in prop::collection::vec(any::<u128>(), 1..200),
+        parallel in any::<bool>(),
+    ) {
+        let sk: Vec<SortKey> =
+            keys.iter().enumerate().map(|(i, &key)| SortKey { object: i, key }).collect();
+        let comparison = Permutation::from_sort_keys_comparison(&sk);
+        prop_assert_eq!(rank_radix(&keys, parallel).ranks(), comparison.ranks());
+    }
+
+    #[test]
+    fn in_place_and_soa_application_match_the_gather(
+        keys in prop::collection::vec(any::<u32>(), 1..300),
+    ) {
+        let sk: Vec<SortKey> = keys
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| SortKey { object: i, key: u128::from(k) })
+            .collect();
+        let p = Permutation::from_sort_keys(&sk);
+        let n = keys.len();
+        // A SoA bundle of three parallel arrays of different element types.
+        let mut ids: Vec<usize> = (0..n).collect();
+        let mut weights: Vec<f64> = (0..n).map(|i| i as f64 * 0.5).collect();
+        let mut flags: Vec<(u8, bool)> = (0..n).map(|i| (i as u8, i % 3 == 0)).collect();
+        let gathered_ids = p.apply_cloned(&ids);
+        let gathered_weights = p.apply_cloned(&weights);
+        let gathered_flags = p.apply_cloned(&flags);
+        p.apply_columns(&mut [&mut ids, &mut weights, &mut flags]);
+        prop_assert_eq!(&ids, &gathered_ids);
+        prop_assert_eq!(weights, gathered_weights);
+        prop_assert_eq!(flags, gathered_flags);
+        // apply_with_aux walks the same cycles over a pair of arrays.
+        let mut a: Vec<usize> = (0..n).collect();
+        let mut b: Vec<u64> = (0..n as u64).map(|i| i * 3).collect();
+        p.apply_with_aux(&mut a, &mut b);
+        prop_assert_eq!(a, gathered_ids);
+        prop_assert_eq!(b, p.apply_cloned(&(0..n as u64).map(|i| i * 3).collect::<Vec<_>>()));
     }
 
     #[test]
