@@ -60,7 +60,7 @@ impl PageWriteHistory {
                     let (first, last) = layout.units_of(a.object(), page_bytes);
                     for page in first..=last {
                         if a.is_write() {
-                            written.entry(page).or_default().insert(a.object);
+                            written.entry(page).or_default().insert(a.object_u32());
                         } else {
                             *sets.reads.entry(page).or_insert(0) += 1;
                         }

@@ -80,21 +80,72 @@ impl CacheStats {
     }
 }
 
+/// Tag value marking an empty (or invalidated) way.
+const EMPTY: u32 = u32::MAX;
+
+/// Way storage, picked per cache geometry.
+///
+/// Line numbers are stored as `u32`: the simulated address space is a contiguous
+/// object array, far below the 512 GB (`2^32` lines of 128 bytes) this can express.
+#[derive(Debug, Clone)]
+enum WayStore {
+    /// Two-way sets (every cache in the paper's machines): each set is
+    /// `[mru_tag, lru_tag]` packed into 8 bytes.  Recency is positional — a hit on
+    /// the LRU way swaps the pair in a register — so no timestamps are needed, and
+    /// the per-set footprint is half the stamped representation's (the replay loop is
+    /// memory-latency bound on this array).  [`EMPTY`] tags compact to the suffix.
+    Paired(Vec<[u32; 2]>),
+    /// Any other associativity: `(tag, last-touch stamp)` per way,
+    /// `ways[set * associativity + way]`, with a per-cache generation counter.  A hit
+    /// stamps one way; a miss evicts the minimum-stamp way.  Stamps are unique, so
+    /// replacement matches the classic move-to-front list without its per-access
+    /// `Vec::remove`/`insert` shuffles.
+    Stamped { ways: Vec<(u32, u32)>, generation: u32 },
+}
+
 /// A set-associative LRU cache over byte addresses.
+///
+/// Exact LRU, in whichever representation is fastest for the geometry (see
+/// [`WayStore`]); replacement decisions are bit-identical to the classic
+/// most-recently-used-first list the reference simulator keeps.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    /// `sets[s]` holds the tags resident in set `s`, ordered from most to least
-    /// recently used.  Associativities in this study are small (≤ 16), so a Vec with
-    /// linear search is faster than any fancier structure.
-    sets: Vec<Vec<u64>>,
+    /// `num_sets - 1`; set index = `line & set_mask` (power-of-two set count).
+    set_mask: usize,
+    store: WayStore,
     stats: CacheStats,
 }
 
 impl Cache {
     /// Create an empty (all-cold) cache.
     pub fn new(config: CacheConfig) -> Self {
-        Cache { config, sets: vec![Vec::new(); config.num_sets()], stats: CacheStats::default() }
+        let store = if config.associativity == 2 {
+            WayStore::Paired(vec![[EMPTY; 2]; config.num_sets()])
+        } else {
+            WayStore::Stamped { ways: vec![(EMPTY, 0); config.num_lines()], generation: 0 }
+        };
+        Cache { config, set_mask: config.num_sets() - 1, store, stats: CacheStats::default() }
+    }
+
+    /// Remap all stamps to their rank among live stamps, preserving the exact
+    /// recency order while freeing the top of the `u32` stamp range.  Runs once per
+    /// ~4 billion accesses, so the amortized cost is zero.
+    #[cold]
+    fn renormalize_stamps(&mut self) {
+        let WayStore::Stamped { ways, generation } = &mut self.store else {
+            return;
+        };
+        let mut live: Vec<u32> =
+            ways.iter().filter(|&&(tag, _)| tag != EMPTY).map(|&(_, stamp)| stamp).collect();
+        live.sort_unstable();
+        for way in ways.iter_mut() {
+            if way.0 != EMPTY {
+                // Ranks start at 1 so stamp 0 stays "older than everything live".
+                way.1 = live.partition_point(|&s| s < way.1) as u32 + 1;
+            }
+        }
+        *generation = live.len() as u32 + 1;
     }
 
     /// The cache geometry.
@@ -104,7 +155,9 @@ impl Cache {
 
     /// Accumulated statistics.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        // `accesses` is the hits + misses identity, so the hot path does not maintain
+        // a third counter.
+        CacheStats { accesses: self.stats.hits + self.stats.misses, ..self.stats }
     }
 
     /// Clear counters but keep cache contents (used between warm-up and measurement).
@@ -118,6 +171,12 @@ impl Cache {
         (addr / self.config.line_bytes) as u64
     }
 
+    /// Index of `line`'s set.
+    #[inline]
+    fn set_index(&self, line: u64) -> usize {
+        line as usize & self.set_mask
+    }
+
     /// Access the byte at `addr`; returns `true` on a hit.  A miss fills the line.
     pub fn access(&mut self, addr: usize) -> bool {
         let line = self.line_of(addr);
@@ -126,36 +185,123 @@ impl Cache {
 
     /// Access a whole line by line number; returns `true` on a hit.
     pub fn access_line(&mut self, line: u64) -> bool {
-        self.stats.accesses += 1;
-        let set_idx = (line as usize) & (self.config.num_sets() - 1);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            // Hit: move to MRU position.
-            let tag = set.remove(pos);
-            set.insert(0, tag);
-            self.stats.hits += 1;
-            true
-        } else {
-            // Miss: fill, evicting LRU if the set is full.
-            if set.len() == self.config.associativity {
-                set.pop();
+        self.access_line_evicting(line).0
+    }
+
+    /// Access a whole line by line number; returns `(hit, evicted)` where `evicted` is
+    /// the line that was displaced to make room (misses in a full set only).  The
+    /// coherence directory uses the eviction report to keep its sharer bitmasks an
+    /// exact mirror of the cache contents.
+    #[inline(always)]
+    pub fn access_line_evicting(&mut self, line: u64) -> (bool, Option<u64>) {
+        assert!(line < u64::from(EMPTY), "line number exceeds the u32 tag range");
+        let set_index = self.set_index(line);
+        let line = line as u32;
+        match &mut self.store {
+            WayStore::Paired(sets) => {
+                let set = &mut sets[set_index];
+                let [t0, t1] = *set;
+                if t0 == line {
+                    self.stats.hits += 1;
+                    return (true, None);
+                }
+                if t1 == line {
+                    // Hit on the LRU way: the positional update is one register swap.
+                    *set = [t1, t0];
+                    self.stats.hits += 1;
+                    return (true, None);
+                }
+                // Miss: the new line becomes MRU; the displaced LRU way (EMPTY ways
+                // compact to the suffix, so `t1` is empty whenever a free way exists)
+                // is evicted if the set was full.
+                let evicted = (t1 != EMPTY).then(|| u64::from(t1));
+                *set = [line, t0];
+                self.stats.misses += 1;
+                (false, evicted)
             }
-            set.insert(0, line);
-            self.stats.misses += 1;
-            false
+            WayStore::Stamped { ways, generation } => {
+                if *generation == u32::MAX {
+                    self.renormalize_stamps();
+                    return self.access_line_evicting(u64::from(line));
+                }
+                *generation += 1;
+                let stamp = *generation;
+                let base = set_index * self.config.associativity;
+                let set = &mut ways[base..base + self.config.associativity];
+                // Hit path first, a bare tag-compare scan with no victim bookkeeping.
+                if let Some(way) = set.iter_mut().find(|way| way.0 == line) {
+                    way.1 = stamp;
+                    self.stats.hits += 1;
+                    return (true, None);
+                }
+                (false, self.fill_line(base, line))
+            }
         }
+    }
+
+    /// The miss path of [`Cache::access_line_evicting`] for stamped sets, kept out of
+    /// line so the replay loop only inlines the hit scan: pick a victim way, fill it,
+    /// and report the eviction.
+    #[inline(never)]
+    fn fill_line(&mut self, base: usize, line: u32) -> Option<u64> {
+        let WayStore::Stamped { ways, generation } = &mut self.store else {
+            unreachable!("fill_line is only called for stamped sets");
+        };
+        let set = &mut ways[base..base + self.config.associativity];
+        // Fill an empty way if one exists (matching the grow-before-evict behaviour
+        // of a positional LRU list), else evict the minimum-stamp (least recently
+        // used) way.
+        let mut victim = 0usize;
+        let mut victim_stamp = u32::MAX;
+        for (w, &(tag, stamp)) in set.iter().enumerate() {
+            if tag == EMPTY {
+                victim = w;
+                break;
+            }
+            if stamp < victim_stamp {
+                victim_stamp = stamp;
+                victim = w;
+            }
+        }
+        let evicted = if set[victim].0 == EMPTY { None } else { Some(u64::from(set[victim].0)) };
+        set[victim] = (line, *generation);
+        self.stats.misses += 1;
+        evicted
     }
 
     /// Invalidate a line if present (called by the coherence layer when another
     /// processor writes the line).  Returns `true` if the line was resident.
     pub fn invalidate_line(&mut self, line: u64) -> bool {
-        let set_idx = (line as usize) & (self.config.num_sets() - 1);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|&t| t == line) {
-            set.remove(pos);
-            true
-        } else {
-            false
+        if line >= u64::from(EMPTY) {
+            return false;
+        }
+        let set_index = self.set_index(line);
+        let line = line as u32;
+        match &mut self.store {
+            WayStore::Paired(sets) => {
+                let set = &mut sets[set_index];
+                let [t0, t1] = *set;
+                if t0 == line {
+                    // Keep EMPTY ways compacted to the suffix.
+                    *set = [t1, EMPTY];
+                    true
+                } else if t1 == line {
+                    set[1] = EMPTY;
+                    true
+                } else {
+                    false
+                }
+            }
+            WayStore::Stamped { ways, .. } => {
+                let base = set_index * self.config.associativity;
+                let set = &mut ways[base..base + self.config.associativity];
+                if let Some(way) = set.iter_mut().find(|way| way.0 == line) {
+                    *way = (EMPTY, 0);
+                    true
+                } else {
+                    false
+                }
+            }
         }
     }
 
@@ -167,8 +313,18 @@ impl Cache {
 
     /// Whether a line is currently resident (does not update LRU or counters).
     pub fn contains_line(&self, line: u64) -> bool {
-        let set_idx = (line as usize) & (self.config.num_sets() - 1);
-        self.sets[set_idx].contains(&line)
+        if line >= u64::from(EMPTY) {
+            return false;
+        }
+        let set_index = self.set_index(line);
+        let line = line as u32;
+        match &self.store {
+            WayStore::Paired(sets) => sets[set_index].contains(&line),
+            WayStore::Stamped { ways, .. } => {
+                let base = set_index * self.config.associativity;
+                ways[base..base + self.config.associativity].iter().any(|&(tag, _)| tag == line)
+            }
+        }
     }
 }
 

@@ -13,14 +13,27 @@
 //!   interleaving is legal; round-robin is the deterministic choice);
 //! * a write invalidates the line in every other cache; an access that misses because of
 //!   such an invalidation is counted separately as a coherence miss.
+//!
+//! Coherence is resolved through a real [`Directory`]: a per-line sharer bitmask that
+//! the simulator keeps as an exact mirror of the cache contents (updated on every
+//! fill, eviction and invalidation).  A write consults the mask in O(1) and
+//! invalidates only the actual sharers, instead of probing all P caches — see
+//! [`crate::reference::ReferenceSim`] for the preserved scan-based baseline the
+//! directory machine is verified against.
+//!
+//! Traces can be replayed from a materialized [`ProgramTrace`]
+//! ([`MultiprocessorSim::run_trace`]) or streamed straight from a running application
+//! through [`SimSink`], which buffers one synchronization interval at a time and never
+//! materializes the whole trace.
 
-use smtrace::{ObjectLayout, ProgramTrace};
+use smtrace::{Access, ObjectLayout, ProgramTrace, TraceSink};
 
 use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::directory::{procs_in, Directory};
 use crate::tlb::{Tlb, TlbConfig, TlbStats};
 
 /// Per-processor counters produced by a simulation run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ProcessorStats {
     /// L2 cache counters.
     pub cache: CacheStats,
@@ -31,7 +44,7 @@ pub struct ProcessorStats {
 }
 
 /// The result of simulating a whole trace on a P-processor machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimulationResult {
     /// Counters for each virtual processor.
     pub per_proc: Vec<ProcessorStats>,
@@ -71,24 +84,42 @@ impl SimulationResult {
     }
 }
 
-/// A P-processor machine: caches, TLBs and an invalidation directory.
+/// A P-processor machine: caches, TLBs and the sharer-bitmask [`Directory`].
 #[derive(Debug)]
 pub struct MultiprocessorSim {
     caches: Vec<Cache>,
     tlbs: Vec<Tlb>,
+    directory: Directory,
     accesses: Vec<u64>,
-    line_bytes: usize,
+    /// `log2(line_bytes)` — line size is a power of two (asserted by `CacheConfig`),
+    /// so line numbers are a shift, not a division, in the per-access hot path.
+    line_shift: u32,
+    /// `log2(page_bytes)` when the page size is a power of two (always, in practice);
+    /// `None` falls back to division.
+    page_shift: Option<u32>,
+    page_bytes: usize,
 }
 
 impl MultiprocessorSim {
     /// Create a machine with `num_procs` processors, each with the given cache and TLB.
+    ///
+    /// # Panics
+    /// Panics if `num_procs` is zero or exceeds [`Directory::MAX_PROCS`].
     pub fn new(num_procs: usize, cache: CacheConfig, tlb: TlbConfig) -> Self {
         assert!(num_procs > 0, "need at least one processor");
+        assert!(
+            num_procs <= Directory::MAX_PROCS,
+            "directory masks support at most {} processors",
+            Directory::MAX_PROCS
+        );
         MultiprocessorSim {
             caches: (0..num_procs).map(|_| Cache::new(cache)).collect(),
             tlbs: (0..num_procs).map(|_| Tlb::new(tlb)).collect(),
+            directory: Directory::new(),
             accesses: vec![0; num_procs],
-            line_bytes: cache.line_bytes,
+            line_shift: cache.line_bytes.trailing_zeros(),
+            page_shift: tlb.page_bytes.is_power_of_two().then(|| tlb.page_bytes.trailing_zeros()),
+            page_bytes: tlb.page_bytes,
         }
     }
 
@@ -97,41 +128,81 @@ impl MultiprocessorSim {
         self.caches.len()
     }
 
+    /// Page number of a byte address (shift when the page size is a power of two).
+    #[inline]
+    fn page_of(&self, addr: usize) -> u64 {
+        match self.page_shift {
+            Some(shift) => (addr >> shift) as u64,
+            None => (addr / self.page_bytes) as u64,
+        }
+    }
+
     /// Perform one access by processor `proc` to the byte range `[first_byte, last_byte]`
     /// (an object), with `write` indicating a store.
+    #[inline]
     pub fn access(&mut self, proc: usize, first_byte: usize, last_byte: usize, write: bool) {
         self.accesses[proc] += 1;
-        let first_line = (first_byte / self.line_bytes) as u64;
-        let last_line = (last_byte / self.line_bytes) as u64;
-        for line in first_line..=last_line {
-            // Was the line absent because of a previous invalidation by another writer?
-            let was_resident = self.caches[proc].contains_line(line);
-            let hit = self.caches[proc].access_line(line);
-            if !hit && !was_resident {
-                // Distinguish coherence misses: the line was invalidated earlier if some
-                // other processor currently holds it dirty.  We track that cheaply via
-                // the invalidation below, by marking misses to lines that *some other*
-                // cache holds as coherence misses (the data had to come from a peer).
-                if self.caches.iter().enumerate().any(|(p, c)| p != proc && c.contains_line(line)) {
-                    self.caches[proc].note_coherence_miss();
-                }
+        self.access_counted(proc, first_byte, last_byte, write);
+    }
+
+    /// [`MultiprocessorSim::access`] without the per-access counter update — the
+    /// replay loop bulk-adds each stream's length per interval instead.
+    ///
+    /// Only the hit path is inlined into the replay loop; the miss and invalidation
+    /// handling live in out-of-line helpers so the hot loop stays small.
+    #[inline(always)]
+    fn access_counted(&mut self, proc: usize, first_byte: usize, last_byte: usize, write: bool) {
+        let first_line = (first_byte >> self.line_shift) as u64;
+        let last_line = (last_byte >> self.line_shift) as u64;
+        let mut line = first_line;
+        loop {
+            let (hit, evicted) = self.caches[proc].access_line_evicting(line);
+            if !hit {
+                self.handle_miss(proc, line, evicted);
             }
             if write {
-                // Invalidate every other processor's copy.
-                for (p, cache) in self.caches.iter_mut().enumerate() {
-                    if p != proc {
-                        cache.invalidate_line(line);
-                    }
-                }
+                self.invalidate_sharers(proc, line);
             }
+            if line >= last_line {
+                break;
+            }
+            line += 1;
         }
         // The TLB translates the page(s) of the object; for objects smaller than a page
         // this is a single translation.
-        self.tlbs[proc].access(first_byte);
-        if last_byte / self.tlbs[proc].config().page_bytes
-            != first_byte / self.tlbs[proc].config().page_bytes
-        {
-            self.tlbs[proc].access(last_byte);
+        let first_page = self.page_of(first_byte);
+        let last_page = self.page_of(last_byte);
+        self.tlbs[proc].access_page(first_page);
+        if last_page != first_page {
+            self.tlbs[proc].access_page(last_page);
+        }
+    }
+
+    /// Directory bookkeeping for a cache miss: mirror the eviction, classify the miss,
+    /// record the new sharer.
+    #[inline(never)]
+    fn handle_miss(&mut self, proc: usize, line: u64, evicted: Option<u64>) {
+        if let Some(evicted) = evicted {
+            self.directory.remove(evicted, proc);
+        }
+        // A miss to a line some other processor currently holds is a coherence miss
+        // (the data had to come from a peer) — one O(1) mask lookup.
+        if self.directory.others(line, proc) != 0 {
+            self.caches[proc].note_coherence_miss();
+        }
+        // Hits need no directory update: a resident line's bit is already set.
+        self.directory.insert(line, proc);
+    }
+
+    /// Invalidate exactly the sharers the directory records for a written line —
+    /// O(sharers), not O(P · associativity).
+    #[inline(never)]
+    fn invalidate_sharers(&mut self, proc: usize, line: u64) {
+        let others = self.directory.others(line, proc);
+        for p in procs_in(others) {
+            let was_resident = self.caches[p].invalidate_line(line);
+            debug_assert!(was_resident, "directory claimed a non-resident sharer");
+            self.directory.remove(line, p);
         }
     }
 
@@ -151,23 +222,66 @@ impl MultiprocessorSim {
     ) -> SimulationResult {
         assert_eq!(trace.num_procs, self.num_procs(), "trace and machine sizes differ");
         for interval in &trace.intervals {
-            // Round-robin interleaving of the processors' streams within the interval.
-            let mut cursors = vec![0usize; trace.num_procs];
-            let mut remaining: usize = interval.accesses.iter().map(Vec::len).sum();
-            while remaining > 0 {
-                for p in 0..trace.num_procs {
-                    if cursors[p] < interval.accesses[p].len() {
-                        let a = interval.accesses[p][cursors[p]];
-                        cursors[p] += 1;
-                        remaining -= 1;
-                        let first = layout.first_byte(a.object());
-                        let last = layout.last_byte(a.object());
-                        self.access(p, first, last, a.is_write());
-                    }
-                }
-            }
+            self.run_interval(&interval.accesses, layout);
         }
         self.result()
+    }
+
+    /// Replay one synchronization interval: `streams[p]` is processor `p`'s ordered
+    /// access stream.  Produces the identical interleaving (and therefore identical
+    /// counters) as the original one-access-at-a-time loop, but batched: intervals
+    /// where only one processor is active — the sequential phases every application
+    /// has — replay as a tight private loop with no interleaving machinery, and the
+    /// round-robin loop only visits processors that still have accesses left.
+    pub fn run_interval(&mut self, streams: &[Vec<Access>], layout: &ObjectLayout) {
+        assert_eq!(streams.len(), self.num_procs(), "interval and machine sizes differ");
+        // One multiply per access: last_byte = first_byte + size - 1 (the `ObjectLayout`
+        // getters would compute the product twice).
+        let size = layout.object_size;
+        let base = layout.base_offset;
+        for (p, stream) in streams.iter().enumerate() {
+            self.accesses[p] += stream.len() as u64;
+        }
+        let mut active: Vec<(usize, std::slice::Iter<'_, Access>)> = streams
+            .iter()
+            .enumerate()
+            .filter(|(_, stream)| !stream.is_empty())
+            .map(|(p, stream)| (p, stream.iter()))
+            .collect();
+        // Round-robin over the processors that still have accesses left, in ascending
+        // processor order per cycle (the deterministic interleaving every consumer of
+        // these counters assumes).  The streams are balanced by construction, so run
+        // whole *batches* of cycles — as many as the shortest remaining stream allows —
+        // with no per-access active-list bookkeeping, then drop exhausted processors
+        // and repeat.  `active` never holds an exhausted iterator, so every batch runs
+        // at least one full cycle.
+        loop {
+            match active.as_mut_slice() {
+                [] => return,
+                [(p, stream)] => {
+                    // One active processor — e.g. the sequential phases every
+                    // application has: its interleaving with itself is program order,
+                    // so the rest of its stream replays as one tight private loop.
+                    let p = *p;
+                    for a in stream {
+                        let first = base + a.object() * size;
+                        self.access_counted(p, first, first + size - 1, a.is_write());
+                    }
+                    return;
+                }
+                _ => {}
+            }
+            let cycles =
+                active.iter().map(|(_, stream)| stream.len()).min().expect("active is non-empty");
+            for _ in 0..cycles {
+                for (p, stream) in active.iter_mut() {
+                    let a = stream.next().expect("cycles bounds every active stream");
+                    let first = base + a.object() * size;
+                    self.access_counted(*p, first, first + size - 1, a.is_write());
+                }
+            }
+            active.retain(|(_, stream)| stream.len() > 0);
+        }
     }
 
     /// Snapshot the per-processor counters.
@@ -181,6 +295,76 @@ impl MultiprocessorSim {
                 })
                 .collect(),
         }
+    }
+}
+
+/// A [`TraceSink`] that drives a [`MultiprocessorSim`] directly from a running
+/// application: streaming trace replay with no materialized [`ProgramTrace`].
+///
+/// The sink buffers one synchronization interval at a time (the round-robin
+/// interleaving needs the complete interval) and replays it at every barrier; the
+/// per-processor buffers are reused across intervals, so steady-state replay allocates
+/// nothing.  Counters are byte-identical to materializing the trace and calling
+/// [`MultiprocessorSim::run_trace_with_layout`], because both paths feed the same
+/// per-interval replay.
+#[derive(Debug)]
+pub struct SimSink {
+    sim: MultiprocessorSim,
+    layout: ObjectLayout,
+    /// The current interval's per-processor streams (cleared, not dropped, per barrier).
+    buffers: Vec<Vec<Access>>,
+}
+
+impl SimSink {
+    /// Wrap a machine and the object layout accesses should be resolved against.
+    pub fn new(sim: MultiprocessorSim, layout: ObjectLayout) -> Self {
+        let buffers = vec![Vec::new(); sim.num_procs()];
+        SimSink { sim, layout, buffers }
+    }
+
+    fn replay_buffered(&mut self) {
+        self.sim.run_interval(&self.buffers, &self.layout);
+        for buffer in &mut self.buffers {
+            buffer.clear();
+        }
+    }
+
+    /// Replay any buffered partial interval and return the simulation result.
+    pub fn finish(mut self) -> SimulationResult {
+        self.replay_buffered();
+        self.sim.result()
+    }
+
+    /// Replay any buffered partial interval and return the machine (for callers that
+    /// keep simulating, e.g. across several streamed runs).
+    pub fn into_machine(mut self) -> MultiprocessorSim {
+        self.replay_buffered();
+        self.sim
+    }
+}
+
+impl TraceSink for SimSink {
+    fn num_procs(&self) -> usize {
+        self.sim.num_procs()
+    }
+
+    fn record(&mut self, proc: usize, access: Access) {
+        debug_assert!(proc < self.buffers.len());
+        self.buffers[proc].push(access);
+    }
+
+    fn lock(&mut self, proc: usize, lock: u32) {
+        // The hardware model does not charge lock traffic (matching the materialized
+        // replay, which ignores recorded lock acquisitions).
+        let _ = (proc, lock);
+    }
+
+    fn barrier(&mut self) {
+        self.replay_buffered();
+    }
+
+    fn record_many(&mut self, proc: usize, accesses: &[Access]) {
+        self.buffers[proc].extend_from_slice(accesses);
     }
 }
 

@@ -12,11 +12,17 @@
 //! applications' object-access traces.
 //!
 //! * [`cache::Cache`] — a set-associative, LRU, write-allocate cache model used for the
-//!   per-processor L2.
-//! * [`tlb::Tlb`] — a fully-associative LRU TLB model over pages.
-//! * [`coherence::MultiprocessorSim`] — P caches plus an invalidation-based directory;
-//!   replaying an interleaved trace yields cold/capacity *and* coherence (false-sharing)
-//!   misses per processor.
+//!   per-processor L2 (generation-timestamp LRU: no per-access list shuffling).
+//! * [`tlb::Tlb`] — a fully-associative LRU TLB model over pages (same timestamp LRU).
+//! * [`directory::Directory`] — per-line sharer bitmasks (paged `u64` bitsets) giving
+//!   O(1) coherence lookup and O(sharers) invalidation.
+//! * [`coherence::MultiprocessorSim`] — P caches plus the directory; replaying an
+//!   interleaved trace yields cold/capacity *and* coherence (false-sharing) misses per
+//!   processor.  [`coherence::SimSink`] replays *streaming* traces (one
+//!   synchronization interval buffered at a time, no materialized trace) with
+//!   byte-identical counters.
+//! * [`reference::ReferenceSim`] — the original scan-based simulator, preserved as the
+//!   executable specification and the `sim-throughput` bench baseline.
 //! * [`sharing`] — the page-sharing analyses behind Figures 1, 2, 4, 5 and 6.
 //! * [`origin::OriginPreset`] — the Origin 2000 cache/TLB/page parameters and a simple
 //!   cost model that converts miss counts into estimated execution times for the
@@ -49,12 +55,16 @@
 
 pub mod cache;
 pub mod coherence;
+pub mod directory;
 pub mod origin;
+pub mod reference;
 pub mod sharing;
 pub mod tlb;
 
 pub use cache::{Cache, CacheConfig, CacheStats};
-pub use coherence::{MultiprocessorSim, ProcessorStats, SimulationResult};
+pub use coherence::{MultiprocessorSim, ProcessorStats, SimSink, SimulationResult};
+pub use directory::Directory;
 pub use origin::{CostModel, OriginPreset};
+pub use reference::ReferenceSim;
 pub use sharing::{page_sharing, page_update_map, PageSharingReport};
 pub use tlb::{Tlb, TlbConfig, TlbStats};

@@ -61,24 +61,61 @@ impl TlbStats {
     }
 }
 
-/// A fully-associative, LRU TLB.
+/// Slot-index sentinel for "no slot" in the recency list and the page index.
+const NONE: u32 = u32::MAX;
+
+/// One TLB slot: the resident page plus its recency-list links, packed into 16 bytes
+/// so a hit touches a single cache line.
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    /// Resident page number.
+    page: u64,
+    /// Neighbouring slots in the recency list (`prev` towards MRU, `next` towards LRU).
+    prev: u32,
+    next: u32,
+}
+
+/// A fully-associative, exact-LRU TLB with O(1) lookup, O(1) recency update and O(1)
+/// eviction.
 ///
 /// Real R12000 TLBs are 64-entry, fully associative with paired entries; full
 /// associativity with plain LRU is the standard modelling simplification and is exact
 /// for the question the paper asks (how many distinct pages does the access stream
-/// cycle through).
+/// cycle through).  The first version of this model kept a move-to-front `Vec` — an
+/// O(entries) scan plus a memmove on *every* translation, which dominated replay time
+/// for TLB-thrashing workloads (Barnes-Hut at paper scale misses on most accesses).
+/// This version is the textbook O(1) LRU: a dense page → slot index (page numbers
+/// index a contiguous shared object array, so the map is a flat vector) plus an
+/// intrusive doubly-linked recency list over the slots.
 #[derive(Debug, Clone)]
 pub struct Tlb {
     config: TlbConfig,
-    /// Resident page numbers, most recently used first.
-    entries: Vec<u64>,
+    /// The slots; only the first `filled` are in use.
+    slots: Vec<Slot>,
+    /// Most recently used slot ([`NONE`] while empty).
+    head: u32,
+    /// Least recently used slot — the eviction victim ([`NONE`] while empty).
+    tail: u32,
+    /// Number of slots in use; slots fill in order (the TLB never invalidates).
+    filled: usize,
+    /// `slot_of[page] == s` ⇔ slot `s` holds `page` ([`NONE`] = absent).  Grown on
+    /// demand; stays small because page numbers are dense over the object array.
+    slot_of: Vec<u32>,
     stats: TlbStats,
 }
 
 impl Tlb {
     /// Create an empty TLB.
     pub fn new(config: TlbConfig) -> Self {
-        Tlb { config, entries: Vec::with_capacity(config.entries), stats: TlbStats::default() }
+        Tlb {
+            config,
+            slots: vec![Slot { page: 0, prev: NONE, next: NONE }; config.entries],
+            head: NONE,
+            tail: NONE,
+            filled: 0,
+            slot_of: Vec::new(),
+            stats: TlbStats::default(),
+        }
     }
 
     /// The TLB geometry.
@@ -88,7 +125,9 @@ impl Tlb {
 
     /// Accumulated statistics.
     pub fn stats(&self) -> TlbStats {
-        self.stats
+        // `accesses` is the hits + misses identity, so the hot path does not maintain
+        // a third counter.
+        TlbStats { accesses: self.stats.hits + self.stats.misses, ..self.stats }
     }
 
     /// Clear counters but keep TLB contents.
@@ -102,22 +141,88 @@ impl Tlb {
         self.access_page(page)
     }
 
-    /// Translate a page by page number; returns `true` on a TLB hit.
-    pub fn access_page(&mut self, page: u64) -> bool {
-        self.stats.accesses += 1;
-        if let Some(pos) = self.entries.iter().position(|&p| p == page) {
-            let p = self.entries.remove(pos);
-            self.entries.insert(0, p);
-            self.stats.hits += 1;
-            true
-        } else {
-            if self.entries.len() == self.config.entries {
-                self.entries.pop();
-            }
-            self.entries.insert(0, page);
-            self.stats.misses += 1;
-            false
+    /// Unlink `slot` from the recency list and relink it at the head (MRU position).
+    #[inline]
+    fn move_to_front(&mut self, slot: u32) {
+        if self.head == slot {
+            return;
         }
+        let Slot { prev: p, next: n, .. } = self.slots[slot as usize];
+        // `slot` is not the head, so it has a predecessor.
+        self.slots[p as usize].next = n;
+        if n == NONE {
+            self.tail = p;
+        } else {
+            self.slots[n as usize].prev = p;
+        }
+        self.slots[slot as usize].prev = NONE;
+        self.slots[slot as usize].next = self.head;
+        self.slots[self.head as usize].prev = slot;
+        self.head = slot;
+    }
+
+    /// Link a slot that is not currently in the list at the head.
+    #[inline]
+    fn push_front(&mut self, slot: u32) {
+        self.slots[slot as usize].prev = NONE;
+        self.slots[slot as usize].next = self.head;
+        if self.head == NONE {
+            self.tail = slot;
+        } else {
+            self.slots[self.head as usize].prev = slot;
+        }
+        self.head = slot;
+    }
+
+    /// Translate a page by page number; returns `true` on a TLB hit.
+    #[inline(always)]
+    pub fn access_page(&mut self, page: u64) -> bool {
+        // MRU fast path: repeated translations of the same page (consecutive objects
+        // on one page — the common case once data is reordered) touch nothing but the
+        // hit counter.  Only this check is inlined into the replay loop.
+        if self.head != NONE && self.slots[self.head as usize].page == page {
+            self.stats.hits += 1;
+            return true;
+        }
+        self.access_page_cold(page)
+    }
+
+    /// The non-MRU path of [`Tlb::access_page`]: index lookup, recency update, and
+    /// eviction, kept out of line.
+    #[inline(never)]
+    fn access_page_cold(&mut self, page: u64) -> bool {
+        let idx = page as usize;
+        if idx >= self.slot_of.len() {
+            self.slot_of.resize(idx + 1, NONE);
+        }
+        let slot = self.slot_of[idx];
+        if slot != NONE {
+            self.move_to_front(slot);
+            self.stats.hits += 1;
+            return true;
+        }
+        // Miss: fill the next free slot while warming up, else evict the LRU tail.
+        let slot = if self.filled < self.slots.len() {
+            self.filled += 1;
+            (self.filled - 1) as u32
+        } else {
+            let victim = self.tail;
+            self.slot_of[self.slots[victim as usize].page as usize] = NONE;
+            // Detach the tail so push_front re-links it cleanly.
+            let p = self.slots[victim as usize].prev;
+            self.tail = p;
+            if p == NONE {
+                self.head = NONE;
+            } else {
+                self.slots[p as usize].next = NONE;
+            }
+            victim
+        };
+        self.slots[slot as usize].page = page;
+        self.slot_of[idx] = slot;
+        self.push_front(slot);
+        self.stats.misses += 1;
+        false
     }
 }
 

@@ -1,0 +1,142 @@
+//! Equivalence suite for the streaming replay pipeline: for arbitrary traces, the
+//! directory machine — replaying a materialized trace or consuming a stream through
+//! [`SimSink`] — must produce *identical* per-processor cache/TLB/coherence counters
+//! to the preserved scan-based [`ReferenceSim`].  This is the property the
+//! `xp bench sim-throughput` speedups rest on: the optimized paths are only
+//! optimizations if the counters are bit-for-bit the same.
+
+use proptest::prelude::*;
+
+use memsim::{CacheConfig, MultiprocessorSim, ReferenceSim, SimSink, TlbConfig};
+use smtrace::{Access, AccessKind, ObjectLayout, TraceBuilder, TraceSink, UnitSetsSink};
+
+/// One randomized trace event: an access, a lock, or a barrier.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Access { proc: usize, object: usize, write: bool },
+    Lock { proc: usize, lock: u32 },
+    Barrier,
+}
+
+/// Decode the raw generated tuples into events (~90% accesses, ~5% locks, ~5%
+/// barriers).
+fn decode_events(raw: Vec<(usize, usize, usize, bool)>, procs: usize) -> Vec<Event> {
+    raw.into_iter()
+        .map(|(kind, proc, object, write)| match kind {
+            0..=89 => Event::Access { proc: proc % procs, object, write },
+            90..=94 => Event::Lock { proc: proc % procs, lock: (object % 7) as u32 },
+            _ => Event::Barrier,
+        })
+        .collect()
+}
+
+/// Drive the same event stream into any sink.
+fn drive(events: &[Event], sink: &mut dyn TraceSink) {
+    for &event in events {
+        match event {
+            Event::Access { proc, object, write } => {
+                if write {
+                    sink.write(proc, object);
+                } else {
+                    sink.read(proc, object);
+                }
+            }
+            Event::Lock { proc, lock } => sink.lock(proc, lock),
+            Event::Barrier => sink.barrier(),
+        }
+    }
+}
+
+/// Machine geometries covering both way-store representations: the paired two-way
+/// fast path and the generic stamped path (4-way), with a TLB small enough to evict.
+fn machines() -> [(CacheConfig, TlbConfig); 2] {
+    [
+        (CacheConfig::new(1024, 64, 2), TlbConfig::new(4, 256)),
+        (CacheConfig::new(2048, 64, 4), TlbConfig::new(3, 512)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Materialized replay on the directory machine, streaming replay through
+    /// `SimSink`, and the reference simulator agree on every counter, for arbitrary
+    /// event streams (including partial trailing intervals), object sizes that
+    /// straddle cache lines, and both way-store representations.
+    #[test]
+    fn streaming_and_materialized_replay_match_the_reference(
+        procs in 1usize..5,
+        size_pick in 0usize..4,
+        events in prop::collection::vec((0usize..100, 0usize..4, 0usize..64, any::<bool>()), 1..400),
+    ) {
+        // Object sizes below, at, and straddling the 64-byte line size.
+        let object_size = [32usize, 96, 136, 680][size_pick];
+        let events = decode_events(events, procs);
+        let layout = ObjectLayout::new(64, object_size);
+
+        // Materialize once.
+        let mut builder = TraceBuilder::new(layout.clone(), procs);
+        drive(&events, &mut builder);
+        let trace = builder.finish();
+
+        for (cache, tlb) in machines() {
+            let mut reference = ReferenceSim::new(procs, cache, tlb);
+            let expected = reference.run_trace_with_layout(&trace, &layout);
+
+            let mut machine = MultiprocessorSim::new(procs, cache, tlb);
+            let materialized = machine.run_trace_with_layout(&trace, &layout);
+            prop_assert_eq!(&expected, &materialized, "materialized replay diverged");
+
+            let mut sink = SimSink::new(MultiprocessorSim::new(procs, cache, tlb), layout.clone());
+            drive(&events, &mut sink);
+            let streamed = sink.finish();
+            prop_assert_eq!(&expected, &streamed, "streaming replay diverged");
+        }
+    }
+
+    /// The 4-byte packed `Access` round-trips every (object, kind) pair, and ordering
+    /// on the packed form preserves equality semantics.
+    #[test]
+    fn packed_access_round_trips(
+        object in 0usize..=Access::MAX_OBJECT,
+        write in any::<bool>(),
+    ) {
+        let kind = if write { AccessKind::Write } else { AccessKind::Read };
+        let access = Access::new(object, kind);
+        prop_assert_eq!(access.object(), object);
+        prop_assert_eq!(access.object_u32() as usize, object);
+        prop_assert_eq!(access.is_write(), write);
+        prop_assert_eq!(access.kind(), kind);
+        prop_assert_eq!(access, Access::new(object, kind));
+        prop_assert_ne!(Access::read(object), Access::write(object));
+    }
+
+    /// The incremental `UnitSetsSink` reduction equals the materialized per-interval
+    /// `unit_sets` reduction for arbitrary event streams.
+    #[test]
+    fn unit_sets_sink_matches_materialized_reduction(
+        procs in 1usize..5,
+        unit_pick in 0usize..3,
+        events in prop::collection::vec((0usize..100, 0usize..4, 0usize..64, any::<bool>()), 1..300),
+    ) {
+        let unit_bytes = [128usize, 512, 4096][unit_pick];
+        let events = decode_events(events, procs);
+        let layout = ObjectLayout::new(64, 96);
+
+        let mut builder = TraceBuilder::new(layout.clone(), procs);
+        drive(&events, &mut builder);
+        let trace = builder.finish();
+
+        let mut sink = UnitSetsSink::new(layout.clone(), procs, unit_bytes);
+        drive(&events, &mut sink);
+        let streamed = sink.finish();
+
+        prop_assert_eq!(trace.intervals.len(), streamed.len());
+        for (interval, stream) in trace.intervals.iter().zip(&streamed) {
+            prop_assert_eq!(interval.unit_sets(&layout, unit_bytes), stream.per_proc.clone());
+            prop_assert_eq!(interval.lock_acquisitions.clone(), stream.lock_acquisitions.clone());
+            let lens: Vec<u64> = interval.accesses.iter().map(|s| s.len() as u64).collect();
+            prop_assert_eq!(lens, stream.accesses.clone());
+        }
+    }
+}

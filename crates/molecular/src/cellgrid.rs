@@ -65,23 +65,20 @@ impl CellGrid {
 
     /// The cells in the 3×3×3 neighbourhood of cell `c` (including `c` itself), without
     /// periodic wrap-around — matching the SPLASH-2 Water-Spatial non-periodic cell scan.
-    pub fn neighborhood(&self, c: usize) -> Vec<usize> {
-        let s = self.cells_per_side as isize;
+    ///
+    /// Returned as an allocation-free iterator (ascending cell order, identical to the
+    /// old `Vec` contents): the interaction-list rebuilds call this once per cell per
+    /// rebuild, so a `Vec` here was one heap allocation per cell per time step.
+    pub fn neighborhood(&self, c: usize) -> impl Iterator<Item = usize> {
+        let s = self.cells_per_side;
         let (x, y, z) = self.cell_coords(c);
-        let mut out = Vec::with_capacity(27);
-        for dx in -1..=1isize {
-            for dy in -1..=1isize {
-                for dz in -1..=1isize {
-                    let nx = x as isize + dx;
-                    let ny = y as isize + dy;
-                    let nz = z as isize + dz;
-                    if nx >= 0 && nx < s && ny >= 0 && ny < s && nz >= 0 && nz < s {
-                        out.push(((nx * s + ny) * s + nz) as usize);
-                    }
-                }
-            }
-        }
-        out
+        let bounds = |v: usize| (v.saturating_sub(1), (v + 1).min(s - 1));
+        let (x0, x1) = bounds(x);
+        let (y0, y1) = bounds(y);
+        let (z0, z1) = bounds(z);
+        (x0..=x1).flat_map(move |nx| {
+            (y0..=y1).flat_map(move |ny| (z0..=z1).map(move |nz| (nx * s + ny) * s + nz))
+        })
     }
 
     /// Re-bin all molecules after they have moved.
@@ -160,9 +157,10 @@ mod tests {
         // For a sample of molecules, every other molecule within the cutoff must be in
         // the 27-cell neighbourhood of its cell.
         for i in (0..pos.len()).step_by(37) {
-            let nbhd = grid.neighborhood(grid.cell_of[i] as usize);
-            let in_nbhd: std::collections::BTreeSet<u32> =
-                nbhd.iter().flat_map(|&c| grid.members[c].iter().copied()).collect();
+            let in_nbhd: std::collections::BTreeSet<u32> = grid
+                .neighborhood(grid.cell_of[i] as usize)
+                .flat_map(|c| grid.members[c].iter().copied())
+                .collect();
             for (j, q) in pos.iter().enumerate() {
                 if i == j {
                     continue;
@@ -179,12 +177,14 @@ mod tests {
     }
 
     #[test]
-    fn neighborhood_size_is_bounded_by_27() {
+    fn neighborhood_size_is_bounded_by_27_and_sorted() {
         let pos = positions(200);
         let grid = CellGrid::build(&pos, 10.0, 2.0);
         for c in 0..grid.num_cells() {
-            let n = grid.neighborhood(c).len();
-            assert!((8..=27).contains(&n));
+            let cells: Vec<usize> = grid.neighborhood(c).collect();
+            assert!((8..=27).contains(&cells.len()));
+            assert!(cells.windows(2).all(|w| w[0] < w[1]), "neighbourhood must be sorted");
+            assert!(cells.contains(&c));
         }
     }
 

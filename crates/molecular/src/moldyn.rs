@@ -15,7 +15,7 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 
 use crate::cellgrid::CellGrid;
 
@@ -215,13 +215,16 @@ impl Moldyn {
     /// One sequential time step.
     pub fn step_sequential(&mut self) {
         self.clear_forces();
-        for &(i, j) in &self.pairs.clone() {
+        // Take the pair list out of `self` for the sweep (no per-step clone).
+        let pairs = std::mem::take(&mut self.pairs);
+        for &(i, j) in &pairs {
             let f = self.pair_force(self.molecules[i as usize].pos, self.molecules[j as usize].pos);
             for k in 0..3 {
                 self.molecules[i as usize].force[k] += f[k];
                 self.molecules[j as usize].force[k] -= f[k];
             }
         }
+        self.pairs = pairs;
         self.integrate(0..self.molecules.len());
         self.maybe_rebuild();
     }
@@ -267,14 +270,18 @@ impl Moldyn {
         self.maybe_rebuild();
     }
 
-    /// One traced time step over `num_procs` virtual processors.  Two intervals per
-    /// step: force computation (owner of `i` reads both molecules of each of its pairs
-    /// and writes both), then integration (each processor writes its own block).
-    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
-        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+    /// One traced time step over `num_procs` virtual processors, streamed into any
+    /// [`TraceSink`] (a materializing [`TraceBuilder`], a streaming simulator sink,
+    /// ...).  Two intervals per step: force computation (owner of `i` reads both
+    /// molecules of each of its pairs and writes both), then integration (each
+    /// processor writes its own block).
+    pub fn step_traced<S: TraceSink>(&mut self, num_procs: usize, builder: &mut S) {
+        assert_eq!(builder.num_procs(), num_procs, "sink must match the processor count");
         self.clear_forces();
-        // Interval 1: force computation over the interaction list.
-        for &(i, j) in &self.pairs.clone() {
+        // Interval 1: force computation over the interaction list (the pair list is
+        // taken out of `self` for the sweep — no per-step clone).
+        let pairs = std::mem::take(&mut self.pairs);
+        for &(i, j) in &pairs {
             let proc = self.owner_of(i as usize, num_procs);
             builder.read(proc, i as usize);
             builder.read(proc, j as usize);
@@ -286,6 +293,7 @@ impl Moldyn {
             builder.write(proc, i as usize);
             builder.write(proc, j as usize);
         }
+        self.pairs = pairs;
         builder.barrier();
         // Interval 2: integration of each processor's own block.
         let n = self.molecules.len();
@@ -302,13 +310,21 @@ impl Moldyn {
         self.maybe_rebuild();
     }
 
-    /// Run `steps` traced time steps on `num_procs` virtual processors.
+    /// Run `steps` traced time steps on `num_procs` virtual processors, materializing
+    /// the trace (kept for the DSM interval analyses that re-read it under several
+    /// layouts).
     pub fn trace_steps(&mut self, steps: usize, num_procs: usize) -> ProgramTrace {
         let mut builder = TraceBuilder::new(self.layout(), num_procs);
-        for _ in 0..steps {
-            self.step_traced(num_procs, &mut builder);
-        }
+        self.stream_steps(steps, &mut builder);
         builder.finish()
+    }
+
+    /// Run `steps` traced time steps, streaming the accesses into `sink` without
+    /// materializing a trace.
+    pub fn stream_steps<S: TraceSink>(&mut self, steps: usize, sink: &mut S) {
+        for _ in 0..steps {
+            self.step_traced(sink.num_procs(), sink);
+        }
     }
 
     /// Total kinetic energy (diagnostic).

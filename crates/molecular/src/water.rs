@@ -16,7 +16,7 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 
 use crate::cellgrid::CellGrid;
 
@@ -227,11 +227,12 @@ impl WaterSpatial {
         self.integrate_all(&forces);
     }
 
-    /// One traced time step over `num_procs` virtual processors.  Two intervals: force
-    /// computation (a processor reads the neighbourhood of each of its molecules and
-    /// writes the molecule) and integration/cell-update (writes its molecules).
-    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
-        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+    /// One traced time step over `num_procs` virtual processors, streamed into any
+    /// [`TraceSink`].  Two intervals: force computation (a processor reads the
+    /// neighbourhood of each of its molecules and writes the molecule) and
+    /// integration/cell-update (writes its molecules).
+    pub fn step_traced<S: TraceSink>(&mut self, num_procs: usize, builder: &mut S) {
+        assert_eq!(builder.num_procs(), num_procs, "sink must match the processor count");
         let owners = self.cell_owners(num_procs);
         // Interval 1: force computation, cell by cell, owner by owner.
         let mut forces = vec![([0.0; 3], 0.0); self.molecules.len()];
@@ -261,13 +262,20 @@ impl WaterSpatial {
         self.integrate_all(&forces);
     }
 
-    /// Run `steps` traced time steps on `num_procs` virtual processors.
+    /// Run `steps` traced time steps on `num_procs` virtual processors, materializing
+    /// the trace.
     pub fn trace_steps(&mut self, steps: usize, num_procs: usize) -> ProgramTrace {
         let mut builder = TraceBuilder::new(self.layout(), num_procs);
-        for _ in 0..steps {
-            self.step_traced(num_procs, &mut builder);
-        }
+        self.stream_steps(steps, &mut builder);
         builder.finish()
+    }
+
+    /// Run `steps` traced time steps, streaming the accesses into `sink` without
+    /// materializing a trace.
+    pub fn stream_steps<S: TraceSink>(&mut self, steps: usize, sink: &mut S) {
+        for _ in 0..steps {
+            self.step_traced(sink.num_procs(), sink);
+        }
     }
 
     /// Total potential energy (diagnostic).

@@ -18,7 +18,7 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 
 use crate::body::{Body, BODY_BYTES_FIG};
 use crate::octree::{NodeId, Octree};
@@ -234,10 +234,10 @@ impl BarnesHut {
 
     /// One traced iteration over `num_procs` virtual processors: performs the same
     /// computation as [`BarnesHut::step_parallel`] and records the body-array accesses
-    /// of each virtual processor into `builder` (three intervals: tree build, force
-    /// evaluation, update).
-    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
-        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+    /// of each virtual processor into any [`TraceSink`] (three intervals: tree build,
+    /// force evaluation, update).
+    pub fn step_traced<S: TraceSink>(&mut self, num_procs: usize, builder: &mut S) {
+        assert_eq!(builder.num_procs(), num_procs, "sink must match the processor count");
         // Interval 1: sequential tree build — processor 0 reads every body.
         let tree = self.build_tree();
         for i in 0..self.bodies.len() {
@@ -275,13 +275,19 @@ impl BarnesHut {
     }
 
     /// Run `iterations` traced iterations on `num_procs` virtual processors and return
-    /// the finished trace.
+    /// the finished (materialized) trace.
     pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
         let mut builder = TraceBuilder::new(self.layout(), num_procs);
-        for _ in 0..iterations {
-            self.step_traced(num_procs, &mut builder);
-        }
+        self.stream_iterations(iterations, &mut builder);
         builder.finish()
+    }
+
+    /// Run `iterations` traced iterations, streaming the accesses into `sink` without
+    /// materializing a trace.
+    pub fn stream_iterations<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        for _ in 0..iterations {
+            self.step_traced(sink.num_procs(), sink);
+        }
     }
 
     /// Total energy (kinetic + potential) of the system; a physics sanity check used by

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 
 use crate::body::{Body, BODY_BYTES_FIG};
 use crate::vec3::Vec3;
@@ -376,12 +376,13 @@ impl Fmm {
         }
     }
 
-    /// One traced iteration over `num_procs` virtual processors.  Intervals, in order:
-    /// tree build (processor 0 reads all bodies), upward pass (each processor reads the
-    /// bodies of its leaves), evaluation (near-field reads plus writes of owned bodies),
-    /// and update (writes of owned bodies) — each closed by a barrier.
-    pub fn step_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
-        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+    /// One traced iteration over `num_procs` virtual processors, streamed into any
+    /// [`TraceSink`].  Intervals, in order: tree build (processor 0 reads all bodies),
+    /// upward pass (each processor reads the bodies of its leaves), evaluation
+    /// (near-field reads plus writes of owned bodies), and update (writes of owned
+    /// bodies) — each closed by a barrier.
+    pub fn step_traced<S: TraceSink>(&mut self, num_procs: usize, builder: &mut S) {
+        assert_eq!(builder.num_procs(), num_procs, "sink must match the processor count");
         let tree = self.build_tree();
         // Interval 1: sequential tree build.
         for i in 0..self.bodies.len() {
@@ -428,13 +429,20 @@ impl Fmm {
         let _ = partition.owner;
     }
 
-    /// Run `iterations` traced iterations on `num_procs` virtual processors.
+    /// Run `iterations` traced iterations on `num_procs` virtual processors and return
+    /// the finished (materialized) trace.
     pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
         let mut builder = TraceBuilder::new(self.layout(), num_procs);
-        for _ in 0..iterations {
-            self.step_traced(num_procs, &mut builder);
-        }
+        self.stream_iterations(iterations, &mut builder);
         builder.finish()
+    }
+
+    /// Run `iterations` traced iterations, streaming the accesses into `sink` without
+    /// materializing a trace.
+    pub fn stream_iterations<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        for _ in 0..iterations {
+            self.step_traced(sink.num_procs(), sink);
+        }
     }
 
     /// Direct O(n²) force evaluation with the same 2-D kernel — the accuracy reference

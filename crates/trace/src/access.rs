@@ -18,39 +18,90 @@ pub enum AccessKind {
 
 /// One access to one object by one (virtual) processor.
 ///
-/// Packed into eight bytes — traces of the paper-sized workloads contain tens of
-/// millions of accesses, so compactness matters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Packed into **four** bytes: the read/write kind lives in the top bit of the object
+/// index.  Traces of the paper-sized workloads contain tens of millions of accesses,
+/// so halving the entry size halves the materialized-trace footprint (and doubles how
+/// many accesses fit in a cache line during replay).  Object indices are therefore
+/// limited to `2^31 - 1` — far above the 65 536-object paper maximum.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Access {
-    /// Index of the accessed object in its object array.
-    pub object: u32,
-    /// Read or write.
-    pub kind: AccessKind,
+    bits: u32,
 }
 
+/// Top bit of [`Access::bits`]: set for writes, clear for reads.
+const WRITE_BIT: u32 = 1 << 31;
+
 impl Access {
+    /// Largest representable object index.
+    pub const MAX_OBJECT: usize = (WRITE_BIT - 1) as usize;
+
     /// A read of object `object`.
+    ///
+    /// # Panics
+    /// Panics if `object` exceeds [`Access::MAX_OBJECT`] — a silent truncation would
+    /// alias another object (and flip the kind bit), corrupting every counter built
+    /// from the trace.  The check is a perfectly predicted compare on the
+    /// trace-generation side, not the replay hot path.
     #[inline]
     pub fn read(object: usize) -> Self {
-        Access { object: object as u32, kind: AccessKind::Read }
+        assert!(object <= Self::MAX_OBJECT, "object index {object} exceeds 31 bits");
+        Access { bits: object as u32 }
     }
 
     /// A write of object `object`.
+    ///
+    /// # Panics
+    /// Panics if `object` exceeds [`Access::MAX_OBJECT`] (see [`Access::read`]).
     #[inline]
     pub fn write(object: usize) -> Self {
-        Access { object: object as u32, kind: AccessKind::Write }
+        assert!(object <= Self::MAX_OBJECT, "object index {object} exceeds 31 bits");
+        Access { bits: object as u32 | WRITE_BIT }
+    }
+
+    /// An access of object `object` with the given kind.
+    #[inline]
+    pub fn new(object: usize, kind: AccessKind) -> Self {
+        match kind {
+            AccessKind::Read => Access::read(object),
+            AccessKind::Write => Access::write(object),
+        }
     }
 
     /// The accessed object index as a `usize`.
     #[inline]
     pub fn object(&self) -> usize {
-        self.object as usize
+        (self.bits & !WRITE_BIT) as usize
+    }
+
+    /// The accessed object index as the `u32` the trace stores.
+    #[inline]
+    pub fn object_u32(&self) -> u32 {
+        self.bits & !WRITE_BIT
     }
 
     /// Whether this access is a write.
     #[inline]
     pub fn is_write(&self) -> bool {
-        self.kind == AccessKind::Write
+        self.bits & WRITE_BIT != 0
+    }
+
+    /// Read or write.
+    #[inline]
+    pub fn kind(&self) -> AccessKind {
+        if self.is_write() {
+            AccessKind::Write
+        } else {
+            AccessKind::Read
+        }
+    }
+}
+
+impl std::fmt::Debug for Access {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Access")
+            .field("object", &self.object())
+            .field("kind", &self.kind())
+            .finish()
     }
 }
 
@@ -60,15 +111,38 @@ mod tests {
 
     #[test]
     fn constructors_set_kind() {
-        assert_eq!(Access::read(7).kind, AccessKind::Read);
-        assert_eq!(Access::write(7).kind, AccessKind::Write);
+        assert_eq!(Access::read(7).kind(), AccessKind::Read);
+        assert_eq!(Access::write(7).kind(), AccessKind::Write);
         assert!(Access::write(7).is_write());
         assert!(!Access::read(7).is_write());
         assert_eq!(Access::read(123).object(), 123);
+        assert_eq!(Access::write(123).object(), 123);
+        assert_eq!(Access::new(9, AccessKind::Write), Access::write(9));
+        assert_eq!(Access::new(9, AccessKind::Read), Access::read(9));
     }
 
     #[test]
-    fn access_is_eight_bytes() {
-        assert_eq!(std::mem::size_of::<Access>(), 8);
+    fn access_is_four_bytes() {
+        assert_eq!(std::mem::size_of::<Access>(), 4);
+    }
+
+    #[test]
+    fn packing_round_trips_at_the_extremes() {
+        for object in [0usize, 1, 1 << 20, Access::MAX_OBJECT] {
+            let r = Access::read(object);
+            let w = Access::write(object);
+            assert_eq!(r.object(), object);
+            assert_eq!(w.object(), object);
+            assert_eq!(r.object_u32() as usize, object);
+            assert!(!r.is_write());
+            assert!(w.is_write());
+            assert_ne!(r, w, "kind must be part of the packed value");
+        }
+    }
+
+    #[test]
+    fn debug_formatting_unpacks_the_fields() {
+        let s = format!("{:?}", Access::write(42));
+        assert!(s.contains("42") && s.contains("Write"), "unhelpful Debug output: {s}");
     }
 }

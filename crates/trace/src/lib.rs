@@ -15,11 +15,18 @@
 //! driven by:
 //!
 //! * [`ObjectLayout`] — how an object array maps onto bytes, cache lines and pages;
-//! * [`Access`], [`AccessKind`] — a single fine-grained object access;
-//! * [`TraceBuilder`] / [`ProgramTrace`] — per-processor, per-interval access streams
-//!   separated by barriers (and annotated with lock acquisitions);
-//! * [`UnitAccessSets`] — reduction of an interval's accesses to per-consistency-unit
-//!   read/write sets, the quantity false sharing is defined over.
+//! * [`Access`], [`AccessKind`] — a single fine-grained object access, packed into
+//!   four bytes (kind in the top bit of the object index);
+//! * [`TraceSink`] — the streaming consumer contract: applications emit accesses,
+//!   locks and barriers into any sink, so a simulator can replay a run
+//!   interval-by-interval without a materialized trace;
+//! * [`TraceBuilder`] / [`ProgramTrace`] — the materializing sink: per-processor,
+//!   per-interval access streams separated by barriers (and annotated with lock
+//!   acquisitions), kept for analyses that re-read the trace under several layouts;
+//! * [`UnitAccessSets`] / [`UnitSetsSink`] — reduction of an interval's accesses to
+//!   per-consistency-unit read/write sets (the quantity false sharing is defined
+//!   over), available both from a materialized interval and incrementally from the
+//!   stream.
 //!
 //! The benchmark applications (`nbody`, `molecular`, `unstructured`) are written so that
 //! the *same* partitioned computation both runs in parallel with rayon (for wall-clock
@@ -54,9 +61,11 @@
 pub mod access;
 pub mod layout;
 pub mod sets;
+pub mod sink;
 pub mod trace;
 
 pub use access::{Access, AccessKind};
 pub use layout::{ConsistencyGranularity, ObjectLayout};
 pub use sets::{SharingHistogram, UnitAccessSets};
+pub use sink::{IntervalUnitSets, TeeSink, TraceSink, UnitSetsSink};
 pub use trace::{IntervalTrace, ProgramTrace, SyncEvent, TraceBuilder};

@@ -35,21 +35,28 @@ impl UnitAccessSets {
     /// units contributes every unit it overlaps.
     pub fn from_accesses(accesses: &[Access], layout: &ObjectLayout, unit_bytes: usize) -> Self {
         let mut sets = UnitAccessSets::default();
-        for a in accesses {
-            let (first, last) = layout.units_of(a.object(), unit_bytes);
-            if a.is_write() {
-                sets.written_objects.insert(a.object);
-                for u in first..=last {
-                    sets.write_units.insert(u);
-                }
-            } else {
-                sets.read_objects.insert(a.object);
-                for u in first..=last {
-                    sets.read_units.insert(u);
-                }
-            }
+        for &a in accesses {
+            sets.add(a, layout, unit_bytes);
         }
         sets
+    }
+
+    /// Fold one access into the sets (the incremental form used by the streaming
+    /// [`crate::UnitSetsSink`]; [`UnitAccessSets::from_accesses`] is a loop over this).
+    #[inline]
+    pub fn add(&mut self, a: Access, layout: &ObjectLayout, unit_bytes: usize) {
+        let (first, last) = layout.units_of(a.object(), unit_bytes);
+        if a.is_write() {
+            self.written_objects.insert(a.object_u32());
+            for u in first..=last {
+                self.write_units.insert(u);
+            }
+        } else {
+            self.read_objects.insert(a.object_u32());
+            for u in first..=last {
+                self.read_units.insert(u);
+            }
+        }
     }
 
     /// Every unit the processor touched (read or write).

@@ -11,6 +11,7 @@
 use crate::access::Access;
 use crate::layout::ObjectLayout;
 use crate::sets::UnitAccessSets;
+use crate::sink::TraceSink;
 
 /// A synchronization event separating intervals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -190,6 +191,30 @@ impl TraceBuilder {
             self.intervals.push(self.current);
         }
         ProgramTrace { layout: self.layout, num_procs: self.num_procs, intervals: self.intervals }
+    }
+}
+
+/// The materializing sink: a `TraceBuilder` is one [`TraceSink`] among others (the
+/// streaming simulator and unit-set sinks avoid materialization entirely).
+impl TraceSink for TraceBuilder {
+    fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    fn record(&mut self, proc: usize, access: Access) {
+        TraceBuilder::record(self, proc, access);
+    }
+
+    fn lock(&mut self, proc: usize, lock: u32) {
+        TraceBuilder::lock(self, proc, lock);
+    }
+
+    fn barrier(&mut self) {
+        TraceBuilder::barrier(self);
+    }
+
+    fn record_many(&mut self, proc: usize, accesses: &[Access]) {
+        TraceBuilder::record_many(self, proc, accesses);
     }
 }
 

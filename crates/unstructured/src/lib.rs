@@ -38,7 +38,7 @@
 use rayon::prelude::*;
 use reorder::graph::{rcm_ordering, Adjacency};
 use reorder::{compute_reordering, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 use workloads::UnstructuredMesh;
 
 /// Object size (bytes) of a node record, from Table 1 of the paper.
@@ -263,11 +263,12 @@ impl Unstructured {
         self.apply_deltas(&delta);
     }
 
-    /// One traced sweep over `num_procs` virtual processors.  Three intervals: the edge
-    /// loop (block partition of edges; reads and writes both endpoints), the face loop
-    /// (block partition of faces), and the node loop (block partition of nodes).
-    pub fn sweep_traced(&mut self, num_procs: usize, builder: &mut TraceBuilder) {
-        assert_eq!(builder.num_procs(), num_procs, "builder must match the processor count");
+    /// One traced sweep over `num_procs` virtual processors, streamed into any
+    /// [`TraceSink`].  Three intervals: the edge loop (block partition of edges; reads
+    /// and writes both endpoints), the face loop (block partition of faces), and the
+    /// node loop (block partition of nodes).
+    pub fn sweep_traced<S: TraceSink>(&mut self, num_procs: usize, builder: &mut S) {
+        assert_eq!(builder.num_procs(), num_procs, "sink must match the processor count");
         // Interval 1: edge loop.
         let edges_per_proc = self.edges.len().div_ceil(num_procs);
         for (chunk_idx, chunk) in self.edges.chunks(edges_per_proc.max(1)).enumerate() {
@@ -303,13 +304,20 @@ impl Unstructured {
         self.sweep_sequential();
     }
 
-    /// Run `sweeps` traced sweeps on `num_procs` virtual processors.
+    /// Run `sweeps` traced sweeps on `num_procs` virtual processors and return the
+    /// finished (materialized) trace.
     pub fn trace_sweeps(&mut self, sweeps: usize, num_procs: usize) -> ProgramTrace {
         let mut builder = TraceBuilder::new(self.layout(), num_procs);
-        for _ in 0..sweeps {
-            self.sweep_traced(num_procs, &mut builder);
-        }
+        self.stream_sweeps(sweeps, &mut builder);
         builder.finish()
+    }
+
+    /// Run `sweeps` traced sweeps, streaming the accesses into `sink` without
+    /// materializing a trace.
+    pub fn stream_sweeps<S: TraceSink>(&mut self, sweeps: usize, sink: &mut S) {
+        for _ in 0..sweeps {
+            self.sweep_traced(sink.num_procs(), sink);
+        }
     }
 
     /// Sum of all node values (conserved by the edge loop, diagnostic).

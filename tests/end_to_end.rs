@@ -218,3 +218,57 @@ fn reordering_cost_is_negligible_relative_to_an_iteration() {
     let result = machine.run_trace_with_layout(&trace, &sim.layout());
     assert!(CostModel::default().machine_time(&result) > 0.0);
 }
+
+/// The streaming pipeline end to end: every application driven straight into a
+/// `SimSink` produces the identical per-processor counters as materializing its trace
+/// and replaying it — no `ProgramTrace` required for the Table 2 numbers.
+#[test]
+fn streaming_apps_match_materialized_replay_for_all_five_applications() {
+    use datareorder::memsim::SimSink;
+
+    let procs = 8;
+    let preset = OriginPreset::miniature(procs);
+    // (name, materialized result, streamed result) per application; the app is built
+    // twice from the same seed so both paths trace the identical execution.
+    let mut cases = Vec::new();
+
+    let mut a = BarnesHut::two_plummer(1_024, 11, BarnesHutParams::default());
+    let mut b = BarnesHut::two_plummer(1_024, 11, BarnesHutParams::default());
+    let trace = a.trace_iterations(2, procs);
+    let mut sink = SimSink::new(preset.build_machine(), b.layout());
+    b.stream_iterations(2, &mut sink);
+    cases.push(("Barnes-Hut", preset.build_machine().run_trace(&trace), sink.finish()));
+
+    let mut a = Fmm::two_plummer(512, 12, FmmParams::default());
+    let mut b = Fmm::two_plummer(512, 12, FmmParams::default());
+    let trace = a.trace_iterations(1, procs);
+    let mut sink = SimSink::new(preset.build_machine(), b.layout());
+    b.stream_iterations(1, &mut sink);
+    cases.push(("FMM", preset.build_machine().run_trace(&trace), sink.finish()));
+
+    let mut a = WaterSpatial::lattice(512, 13, WaterSpatialParams::default());
+    let mut b = WaterSpatial::lattice(512, 13, WaterSpatialParams::default());
+    let trace = a.trace_steps(2, procs);
+    let mut sink = SimSink::new(preset.build_machine(), b.layout());
+    b.stream_steps(2, &mut sink);
+    cases.push(("Water-Spatial", preset.build_machine().run_trace(&trace), sink.finish()));
+
+    let mut a = Moldyn::lattice(600, 14, MoldynParams::default());
+    let mut b = Moldyn::lattice(600, 14, MoldynParams::default());
+    let trace = a.trace_steps(2, procs);
+    let mut sink = SimSink::new(preset.build_machine(), b.layout());
+    b.stream_steps(2, &mut sink);
+    cases.push(("Moldyn", preset.build_machine().run_trace(&trace), sink.finish()));
+
+    let mut a = Unstructured::generated(512, 15, UnstructuredParams::default());
+    let mut b = Unstructured::generated(512, 15, UnstructuredParams::default());
+    let trace = a.trace_sweeps(2, procs);
+    let mut sink = SimSink::new(preset.build_machine(), b.layout());
+    b.stream_sweeps(2, &mut sink);
+    cases.push(("Unstructured", preset.build_machine().run_trace(&trace), sink.finish()));
+
+    for (app, materialized, streamed) in cases {
+        assert_eq!(materialized, streamed, "{app}: streaming diverged from materialized replay");
+        assert!(materialized.totals().accesses > 0, "{app}: empty trace");
+    }
+}
