@@ -1,9 +1,11 @@
 //! Criterion bench for the software DSM protocol simulators behind Table 3 and
 //! Figures 8/9: running the TreadMarks-like and HLRC-like protocols over a Moldyn trace
-//! with the original versus column-reordered molecule array.
+//! with the original versus column-reordered molecule array, plus the trace→history
+//! reduction paths the `xp bench dsm-throughput` experiment compares (map-based
+//! reference vs flat streaming sink).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dsm::{DsmConfig, HlrcSim, TreadMarksSim};
+use dsm::{reference, DsmConfig, HlrcSim, PageHistorySink, PageWriteHistory, TreadMarksSim};
 use reorder::Method;
 use repro_bench::{build_run_sized, AppKind, Ordering};
 
@@ -27,5 +29,25 @@ fn bench_dsm(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_dsm);
+fn bench_dsm_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dsm_history");
+    group.sample_size(10);
+    let run = build_run_sized(AppKind::Moldyn, Ordering::Original, 4_000, 2, 16, 5);
+    group.bench_with_input(BenchmarkId::new("reduce_moldyn", "reference"), &run, |b, run| {
+        b.iter(|| reference::RefPageHistory::build(&run.trace, &run.layout, 4096).intervals.len())
+    });
+    group.bench_with_input(BenchmarkId::new("reduce_moldyn", "flat"), &run, |b, run| {
+        b.iter(|| PageWriteHistory::build(&run.trace, &run.layout, 4096).intervals.len())
+    });
+    group.bench_with_input(BenchmarkId::new("reduce_moldyn", "streaming"), &run, |b, run| {
+        b.iter(|| {
+            let mut sink = PageHistorySink::new(run.layout.clone(), run.trace.num_procs, 4096);
+            run.trace.replay_into(&mut sink);
+            sink.finish().intervals.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dsm, bench_dsm_history);
 criterion_main!(benches);

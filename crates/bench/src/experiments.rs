@@ -8,7 +8,7 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-use dsm::{DsmConfig, HlrcSim, NetworkCostModel, PageWriteHistory, TreadMarksSim};
+use dsm::{DsmConfig, HlrcSim, NetworkCostModel, PageHistorySink, PageWriteHistory, TreadMarksSim};
 use memsim::{
     page_sharing, page_update_map, CostModel, OriginPreset, ReferenceSim, SimSink, SimulationResult,
 };
@@ -16,7 +16,7 @@ use molecular::{Moldyn, MoldynParams};
 use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
 use reorder::permute::Permutation;
 use reorder::{compute_reordering_from_points, pack_keys, sort_keys, KeyWidth, Method, Quantizer};
-use smtrace::{ObjectLayout, TraceSink};
+use smtrace::ObjectLayout;
 use workloads::{cubic_lattice, two_plummer, UnstructuredMesh};
 
 use crate::row;
@@ -211,6 +211,27 @@ pub static EXPERIMENTS: &[ExperimentSpec] = &[
             "workload replays in.  Cells run sequentially for honest wall-clock.",
         ],
         run: run_bench_sim_throughput,
+    },
+    ExperimentSpec {
+        id: "bench_dsm_throughput",
+        aliases: &["dsm-throughput", "dsm_throughput", "bench-dsm-throughput"],
+        title: "DSM-throughput bench: trace-to-stats paths through the TreadMarks/HLRC models",
+        columns: &[
+            "app", "workload", "n", "procs", "path", "accesses", "replay_ms", "maccess_s",
+            "tmk_messages", "tmk_mb", "hlrc_messages", "hlrc_mb", "speedup_vs_reference",
+        ],
+        notes: &[
+            "Paths: `reference` is the preserved map-based serial pipeline (nested-BTreeMap",
+            "trace reduction re-run per protocol, BTreeSet/BTreeMap fault loops);",
+            "`materialized` reduces the ProgramTrace once through the flat sorted-vec",
+            "reduction and feeds both parallel simulators; `streaming` replays the trace",
+            "through a PageHistorySink — the path applications use to evaluate the DSM models",
+            "without materializing a trace — and feeds the same simulators.  Every path's",
+            "DsmRunResult (aggregate and per-processor, both protocols) is asserted",
+            "bit-identical; expected shape: the streaming path beats the reference by >=2x",
+            "geomean.  Cells run sequentially for honest wall-clock.",
+        ],
+        run: run_bench_dsm_throughput,
     },
     ExperimentSpec {
         id: "ablation_unit_sweep",
@@ -756,18 +777,6 @@ fn run_bench_reorder_cost(cfg: &RunConfig) -> Vec<Row> {
     rows
 }
 
-/// Feed a materialized trace through a [`SimSink`] the way a streaming application
-/// would: per-processor slices per interval, a barrier per interval.  Measures pure
-/// replay throughput of the streaming path (the sink buffers and batches internally).
-fn stream_trace_into_sink(trace: &smtrace::ProgramTrace, sink: &mut SimSink) {
-    for interval in &trace.intervals {
-        for (p, stream) in interval.accesses.iter().enumerate() {
-            sink.record_many(p, stream);
-        }
-        sink.barrier();
-    }
-}
-
 fn run_bench_sim_throughput(cfg: &RunConfig) -> Vec<Row> {
     let scale = cfg.scale;
     let procs = cfg.procs_or(16);
@@ -825,7 +834,7 @@ fn run_bench_sim_throughput(cfg: &RunConfig) -> Vec<Row> {
         for _ in 0..repetitions {
             let mut sink = SimSink::new(preset.build_machine(), run.layout.clone());
             let t0 = Instant::now();
-            stream_trace_into_sink(&run.trace, &mut sink);
+            run.trace.replay_into(&mut sink);
             let result = sink.finish();
             stream_ms = stream_ms.min(ms(t0));
             stream_result = Some(result);
@@ -870,31 +879,207 @@ fn run_bench_sim_throughput(cfg: &RunConfig) -> Vec<Row> {
     }
     // Summary rows: aggregate throughput over all five applications plus the geomean
     // per-application speedup — the headline replay-throughput claim.
-    for path in ["reference", "materialized", "streaming"] {
-        let path_rows: Vec<&Row> =
-            rows.iter().filter(|r| r.cells[3] == crate::runner::Value::Str(path.into())).collect();
-        let cell = |r: &Row, i: usize| match &r.cells[i] {
-            crate::runner::Value::Int(v) => *v as f64,
-            crate::runner::Value::Float(v) => *v,
-            crate::runner::Value::Str(_) => 0.0,
-        };
-        let total_accesses: f64 = path_rows.iter().map(|r| cell(r, 4)).sum();
-        let total_ms: f64 = path_rows.iter().map(|r| cell(r, 5)).sum();
-        let geomean = (path_rows.iter().map(|r| cell(r, 10).ln()).sum::<f64>()
-            / path_rows.len() as f64)
-            .exp();
+    for s in summarize_bench_paths(&rows, 3, 4, 5, &[7, 8, 9], 10) {
         rows.push(row![
             "(all)",
             0usize,
             procs,
-            path,
-            total_accesses as u64,
-            total_ms,
-            total_accesses / (total_ms * 1e-3) / 1e6,
-            path_rows.iter().map(|r| cell(r, 7)).sum::<f64>() as u64,
-            path_rows.iter().map(|r| cell(r, 8)).sum::<f64>() as u64,
-            path_rows.iter().map(|r| cell(r, 9)).sum::<f64>() as u64,
-            geomean
+            s.path,
+            s.accesses,
+            s.ms,
+            s.maccess_s,
+            s.col_sums[0],
+            s.col_sums[1],
+            s.col_sums[2],
+            s.geomean_speedup
+        ]);
+    }
+    rows
+}
+
+/// The per-path summary of a throughput bench's rows.
+struct PathSummary {
+    path: &'static str,
+    accesses: u64,
+    ms: f64,
+    maccess_s: f64,
+    /// Sums of the caller's extra counter columns, in the order requested.
+    col_sums: Vec<u64>,
+    /// Geometric mean of the per-application speedup column.
+    geomean_speedup: f64,
+}
+
+/// Aggregate the `(all)` summary per replay path (reference / materialized /
+/// streaming): total accesses and wall-clock, aggregate throughput, sums of the
+/// requested counter columns, and the geomean per-application speedup.  Shared by the
+/// sim-throughput and dsm-throughput benches, which differ only in column layout.
+fn summarize_bench_paths(
+    rows: &[Row],
+    path_col: usize,
+    accesses_col: usize,
+    ms_col: usize,
+    sum_cols: &[usize],
+    speedup_col: usize,
+) -> Vec<PathSummary> {
+    let cell = |r: &Row, i: usize| match &r.cells[i] {
+        crate::runner::Value::Int(v) => *v as f64,
+        crate::runner::Value::Float(v) => *v,
+        crate::runner::Value::Str(_) => 0.0,
+    };
+    ["reference", "materialized", "streaming"]
+        .into_iter()
+        .map(|path| {
+            let path_rows: Vec<&Row> = rows
+                .iter()
+                .filter(|r| r.cells[path_col] == crate::runner::Value::Str(path.into()))
+                .collect();
+            let accesses: f64 = path_rows.iter().map(|r| cell(r, accesses_col)).sum();
+            let ms: f64 = path_rows.iter().map(|r| cell(r, ms_col)).sum();
+            let geomean_speedup =
+                (path_rows.iter().map(|r| cell(r, speedup_col).ln()).sum::<f64>()
+                    / path_rows.len() as f64)
+                    .exp();
+            PathSummary {
+                path,
+                accesses: accesses as u64,
+                ms,
+                maccess_s: accesses / (ms * 1e-3) / 1e6,
+                col_sums: sum_cols
+                    .iter()
+                    .map(|&c| path_rows.iter().map(|r| cell(r, c)).sum::<f64>() as u64)
+                    .collect(),
+                geomean_speedup,
+            }
+        })
+        .collect()
+}
+
+/// The applications the DSM-throughput bench replays, with the workload each one's
+/// generator draws from (the reorder-cost bench's point sets come from the same three).
+const DSM_THROUGHPUT_APPS: [(AppKind, &str); 3] = [
+    (AppKind::BarnesHut, "plummer"),
+    (AppKind::Unstructured, "mesh"),
+    (AppKind::Moldyn, "lattice"),
+];
+
+fn run_bench_dsm_throughput(cfg: &RunConfig) -> Vec<Row> {
+    let scale = cfg.scale;
+    let procs = cfg.procs_or(16);
+    let seed = cfg.seed_or(71);
+    let config = DsmConfig::cluster(procs);
+    // Best-of-N wall clock per path: evaluation is deterministic, so repetition only
+    // filters scheduler noise out of the recorded throughput.
+    let repetitions = if scale == Scale::Tiny { 1 } else { 3 };
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+    // This is a wall-clock-timing experiment: cells run *sequentially* so each path
+    // gets the whole machine (like the sim-throughput bench).
+    let mut rows = Vec::new();
+    for (app, workload) in DSM_THROUGHPUT_APPS {
+        let run = build_run(app, crate::Ordering::Original, scale, procs, seed);
+        let accesses = run.trace.total_accesses() as u64;
+
+        // Path 1 — the preserved map-based serial pipeline; like the historical
+        // `run_with_layout`, each protocol re-reduces the trace from scratch.
+        let mut ref_ms = f64::INFINITY;
+        let mut ref_results = None;
+        for _ in 0..repetitions {
+            let t0 = Instant::now();
+            let tmk = dsm::reference::run_treadmarks(config, &run.trace, &run.layout);
+            let hlrc = dsm::reference::run_hlrc(config, &run.trace, &run.layout);
+            ref_ms = ref_ms.min(ms(t0));
+            ref_results = Some((tmk, hlrc));
+        }
+        let ref_results = ref_results.expect("at least one repetition");
+
+        // Path 2 — one flat reduction of the materialized trace feeds both parallel
+        // simulators.
+        let mut mat_ms = f64::INFINITY;
+        let mut mat_results = None;
+        for _ in 0..repetitions {
+            let t0 = Instant::now();
+            let history = PageWriteHistory::build(&run.trace, &run.layout, config.page_bytes);
+            let tmk = TreadMarksSim::new(config).run_history(&history);
+            let hlrc = HlrcSim::new(config).run_history(&history);
+            mat_ms = mat_ms.min(ms(t0));
+            mat_results = Some((tmk, hlrc));
+        }
+        let mat_results = mat_results.expect("at least one repetition");
+
+        // Path 3 — the trace streams through a PageHistorySink (the no-materialized-
+        // trace path applications use) into the same simulators.
+        let mut stream_ms = f64::INFINITY;
+        let mut stream_results = None;
+        for _ in 0..repetitions {
+            let t0 = Instant::now();
+            let mut sink = PageHistorySink::new(run.layout.clone(), procs, config.page_bytes);
+            run.trace.replay_into(&mut sink);
+            let history = sink.finish();
+            let tmk = TreadMarksSim::new(config).run_history(&history);
+            let hlrc = HlrcSim::new(config).run_history(&history);
+            stream_ms = stream_ms.min(ms(t0));
+            stream_results = Some((tmk, hlrc));
+        }
+        let stream_results = stream_results.expect("at least one repetition");
+
+        // Bit-identical DsmRunResults (aggregate + per-processor, both protocols)
+        // across all three paths is a hard correctness requirement, not a statistical
+        // expectation — a divergence here is a pipeline bug.
+        assert_eq!(
+            ref_results,
+            mat_results,
+            "materialized DSM pipeline diverged from the reference for {}",
+            app.name()
+        );
+        assert_eq!(
+            ref_results,
+            stream_results,
+            "streaming DSM pipeline diverged from the reference for {}",
+            app.name()
+        );
+
+        // Each path's row reports that path's *own* protocol counters (asserted
+        // identical above), so the CI artifact check can independently re-verify the
+        // cross-path agreement.
+        let paths: [(&str, f64, &(dsm::DsmRunResult, dsm::DsmRunResult)); 3] = [
+            ("reference", ref_ms, &ref_results),
+            ("materialized", mat_ms, &mat_results),
+            ("streaming", stream_ms, &stream_results),
+        ];
+        for (path, path_ms, (tmk, hlrc)) in paths {
+            rows.push(row![
+                app.name(),
+                workload,
+                run.num_objects,
+                procs,
+                path,
+                accesses,
+                path_ms,
+                accesses as f64 / (path_ms * 1e-3) / 1e6,
+                tmk.stats.messages,
+                tmk.stats.data_mbytes(),
+                hlrc.stats.messages,
+                hlrc.stats.data_mbytes(),
+                ref_ms / path_ms
+            ]);
+        }
+    }
+    // Summary rows: aggregate throughput over the three applications plus the geomean
+    // per-application speedup — the headline pipeline-throughput claim.
+    for s in summarize_bench_paths(&rows, 4, 5, 6, &[], 12) {
+        rows.push(row![
+            "(all)",
+            "-",
+            0usize,
+            procs,
+            s.path,
+            s.accesses,
+            s.ms,
+            s.maccess_s,
+            0u64,
+            0.0f64,
+            0u64,
+            0.0f64,
+            s.geomean_speedup
         ]);
     }
     rows
@@ -943,8 +1128,8 @@ mod tests {
         }
         assert_eq!(
             all().len(),
-            14,
-            "12 legacy specs + the reorder-cost and sim-throughput benches"
+            15,
+            "12 legacy specs + the reorder-cost, sim-throughput and dsm-throughput benches"
         );
     }
 
@@ -994,6 +1179,24 @@ mod tests {
         assert!(json.contains("\"path\": \"reference\""));
         assert!(json.contains("\"path\": \"materialized\""));
         assert!(json.contains("\"path\": \"streaming\""));
+        assert!(json.contains("\"app\": \"(all)\""));
+    }
+
+    #[test]
+    fn dsm_throughput_bench_covers_all_apps_and_paths() {
+        let spec = find("dsm-throughput").unwrap();
+        assert_eq!(spec.id, "bench_dsm_throughput");
+        let result = spec.execute(&RunConfig { scale: Scale::Tiny, procs: Some(4), seed: None });
+        // 3 applications × 3 pipeline paths, plus one summary row per path; the run
+        // itself asserts that every path produced bit-identical DsmRunResults.
+        assert_eq!(result.rows.len(), 12);
+        let json = result.render(Format::Json);
+        assert!(json.contains("\"path\": \"reference\""));
+        assert!(json.contains("\"path\": \"materialized\""));
+        assert!(json.contains("\"path\": \"streaming\""));
+        assert!(json.contains("\"workload\": \"plummer\""));
+        assert!(json.contains("\"workload\": \"mesh\""));
+        assert!(json.contains("\"workload\": \"lattice\""));
         assert!(json.contains("\"app\": \"(all)\""));
     }
 

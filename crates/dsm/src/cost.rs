@@ -214,4 +214,14 @@ mod tests {
         assert!(t16 > t4);
         assert_eq!(m.barrier_message_total(10, 16), 10 * 30);
     }
+
+    #[test]
+    fn degenerate_processor_counts_cost_zero_barrier_messages() {
+        // Regression test for the `num_procs as u64 - 1` underflow: a single node has
+        // no barrier peers, and a zero-processor count must not wrap to 2^64 - 2
+        // messages per barrier.
+        let m = NetworkCostModel::default();
+        assert_eq!(m.barrier_message_total(10, 1), 0);
+        assert_eq!(m.barrier_message_total(10, 0), 0);
+    }
 }

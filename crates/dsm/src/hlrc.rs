@@ -19,12 +19,18 @@
 //! Compared to TreadMarks, the same amount of false sharing therefore costs fewer
 //! messages (one exchange instead of one per writer) but more data volume (a full page
 //! instead of the union of diffs) — the trade-off Table 3 of the paper exhibits.
+//!
+//! Like [`crate::TreadMarksSim`], the evaluation is parallel over processors: faults
+//! and eager diffs of one processor depend only on its own page sets and the immutable
+//! global write timeline, so every processor's intervals are walked concurrently and
+//! the per-processor statistics are aggregated deterministically afterwards.
 
+use rayon::prelude::*;
 use smtrace::{ObjectLayout, ProgramTrace};
 
 use crate::history::PageWriteHistory;
-use crate::protocol::{DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
-use crate::treadmarks::{barrier_messages, LOCK_MESSAGES};
+use crate::protocol::{single_proc_result, DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
+use crate::treadmarks::{barrier_messages, WriteTimeline, LOCK_MESSAGES};
 
 /// The HLRC-like protocol simulator.
 #[derive(Debug, Clone)]
@@ -59,93 +65,82 @@ impl HlrcSim {
         self.run_history(&history)
     }
 
+    /// Simulate one processor's whole run against the shared timeline.
+    fn evaluate_proc(
+        &self,
+        proc: usize,
+        history: &PageWriteHistory,
+        timeline: &WriteTimeline,
+    ) -> ProcStats {
+        let mut stats = ProcStats::default();
+        // last_seen[page]: the processor's copy incorporates all writes from intervals
+        // strictly before this value.
+        let mut last_seen = vec![0u32; history.num_pages];
+        for (t, interval) in history.intervals.iter().enumerate() {
+            let sets = &interval[proc];
+            stats.accesses += sets.accesses;
+            stats.lock_acquires += u64::from(sets.lock_acquires);
+            // Phase 1: page faults for this interval's accesses (reads and writes both
+            // need an up-to-date copy under the invalidate protocol).
+            for page in sets.touched_pages() {
+                let from = last_seen[page as usize];
+                if from as usize >= t {
+                    continue;
+                }
+                last_seen[page as usize] = t as u32;
+                // Is there any write to this page by another processor in [from, t)?
+                let stale = timeline
+                    .range(page as usize, from, t as u32)
+                    .iter()
+                    .any(|&(_, w, _)| w as usize != proc);
+                if !stale {
+                    continue;
+                }
+                if proc == self.home_of(page as usize) {
+                    // The home always has the current copy (diffs were pushed to it
+                    // at the end of the writing interval).
+                    continue;
+                }
+                stats.remote_faults += 1;
+                stats.fetch_exchanges += 1;
+                stats.messages += 2;
+                stats.data_bytes += self.config.page_bytes as u64;
+            }
+            // Phase 2: at the interval's closing synchronization, every writer pushes a
+            // diff of each written page to the page's home.
+            for pw in &sets.writes {
+                if self.home_of(pw.page as usize) == proc {
+                    continue;
+                }
+                stats.diffs_sent += 1;
+                stats.diff_bytes_sent += pw.bytes;
+                stats.messages += 1;
+                stats.data_bytes += pw.bytes;
+            }
+        }
+        stats.messages += LOCK_MESSAGES * stats.lock_acquires;
+        stats
+    }
+
     /// Simulate the protocol over a pre-built page write history.
     pub fn run_history(&self, history: &PageWriteHistory) -> DsmRunResult {
         let p = self.config.num_procs;
         assert_eq!(history.num_procs, p, "history and configuration disagree on processor count");
-        let num_pages = history.num_pages;
-
-        // last_write[page]: index of the last interval in which any non-home processor
-        // (or the home itself) wrote the page.  Used to decide whether a faulting
-        // processor's copy is stale.
-        let mut per_proc = vec![ProcStats::default(); p];
-        // For each (proc, page): the interval index up to which the processor's copy is
-        // current (it has seen all writes from intervals strictly before this value).
-        let mut last_seen = vec![vec![0usize; num_pages]; p];
-        // For each page: cumulative list of intervals in which somebody wrote it.
-        let mut write_intervals: Vec<Vec<(usize, usize)>> = vec![Vec::new(); num_pages];
-        for (t, interval) in history.intervals.iter().enumerate() {
-            for (w, sets) in interval.iter().enumerate() {
-                for &page in sets.writes.keys() {
-                    if page < num_pages {
-                        write_intervals[page].push((t, w));
-                    }
-                }
-            }
+        if p == 1 {
+            return single_proc_result(
+                Protocol::Hlrc,
+                self.config,
+                history.proc_accesses(0),
+                history.proc_lock_acquires(0),
+                history.barriers,
+            );
         }
 
-        for (t, interval) in history.intervals.iter().enumerate() {
-            // Phase 1: page faults for this interval's accesses (reads and writes both
-            // need an up-to-date copy under the invalidate protocol).
-            for (proc, sets) in interval.iter().enumerate() {
-                let stats = &mut per_proc[proc];
-                stats.accesses += sets.accesses;
-                stats.lock_acquires += u64::from(sets.lock_acquires);
-                let touched: std::collections::BTreeSet<usize> = sets
-                    .reads
-                    .keys()
-                    .chain(sets.writes.keys())
-                    .copied()
-                    .filter(|&pg| pg < num_pages)
-                    .collect();
-                for page in touched {
-                    let from = last_seen[proc][page];
-                    if from >= t {
-                        continue;
-                    }
-                    // Is there any write to this page by another processor in [from, t)?
-                    let stale = write_intervals[page]
-                        .iter()
-                        .any(|&(ti, w)| ti >= from && ti < t && w != proc);
-                    last_seen[proc][page] = t;
-                    if !stale {
-                        continue;
-                    }
-                    let home = self.home_of(page);
-                    if proc == home {
-                        // The home always has the current copy (diffs were pushed to it
-                        // at the end of the writing interval).
-                        continue;
-                    }
-                    stats.remote_faults += 1;
-                    stats.fetch_exchanges += 1;
-                    stats.messages += 2;
-                    stats.data_bytes += self.config.page_bytes as u64;
-                }
-            }
-            // Phase 2: at the interval's closing synchronization, every writer pushes a
-            // diff of each written page to the page's home.
-            for (proc, sets) in interval.iter().enumerate() {
-                for (&page, &bytes) in &sets.writes {
-                    if page >= num_pages {
-                        continue;
-                    }
-                    let home = self.home_of(page);
-                    if home == proc {
-                        continue;
-                    }
-                    let stats = &mut per_proc[proc];
-                    stats.diffs_sent += 1;
-                    stats.diff_bytes_sent += bytes;
-                    stats.messages += 1;
-                    stats.data_bytes += bytes;
-                }
-            }
-            let _ = t;
-        }
-        for stats in per_proc.iter_mut() {
-            stats.messages += LOCK_MESSAGES * stats.lock_acquires;
-        }
+        let timeline = WriteTimeline::build(history);
+        let per_proc: Vec<ProcStats> = (0..p)
+            .into_par_iter()
+            .map(|proc| self.evaluate_proc(proc, history, &timeline))
+            .collect();
 
         let mut stats = DsmStats {
             barriers: history.barriers,
@@ -302,5 +297,20 @@ mod tests {
         assert!(r.aggregate_consistent());
         assert_eq!(r.stats.barriers, 2);
         assert_eq!(r.stats.lock_acquires, 4);
+    }
+
+    /// P=1 is a zero-communication fast path for HLRC as well.
+    #[test]
+    fn single_processor_run_is_communication_free() {
+        let layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 1);
+        b.write(0, 3);
+        b.lock(0, 1);
+        b.barrier();
+        let trace = b.finish();
+        let r = HlrcSim::new(DsmConfig::new(4096, 1)).run(&trace);
+        assert_eq!(r.stats.messages, 0);
+        assert_eq!(r.stats.data_bytes, 0);
+        assert_eq!(r.stats.lock_acquires, 1);
     }
 }

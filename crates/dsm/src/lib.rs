@@ -27,6 +27,15 @@
 //! 313–1 544 µs diff fetch, 643 µs barrier) converts them into estimated execution
 //! times and speedups (Figures 8 and 9).
 //!
+//! The trace→stats pipeline is streaming and allocation-lean: a [`PageHistorySink`]
+//! reduces an application's `stream_*` execution to flat per-interval
+//! [`PageWriteHistory`] page sets (at one or several page granularities in a single
+//! pass) without materializing the trace, and both simulators evaluate the
+//! per-processor intervals in parallel.  The original map-based serial pipeline is
+//! preserved in [`reference`] as the executable specification; the equivalence
+//! proptests and `xp bench dsm-throughput` pin all paths to bit-identical
+//! [`DsmStats`].
+//!
 //! ```
 //! use dsm::{DsmConfig, HlrcSim, TreadMarksSim};
 //! use smtrace::{ObjectLayout, TraceBuilder};
@@ -56,10 +65,13 @@ pub mod cost;
 pub mod history;
 pub mod hlrc;
 pub mod protocol;
+pub mod reference;
+pub mod sink;
 pub mod treadmarks;
 
 pub use cost::{NetworkCostModel, TimeEstimate};
-pub use history::PageWriteHistory;
+pub use history::{object_bytes_on_page, IntervalPageSets, PageRead, PageWrite, PageWriteHistory};
 pub use hlrc::HlrcSim;
 pub use protocol::{DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
+pub use sink::PageHistorySink;
 pub use treadmarks::TreadMarksSim;

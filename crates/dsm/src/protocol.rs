@@ -27,7 +27,7 @@ impl std::fmt::Display for Protocol {
 }
 
 /// Configuration of the simulated DSM system.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsmConfig {
     /// Virtual-memory page size in bytes (the consistency unit).  The paper's cluster
     /// uses x86 4 KB pages; the Barnes-Hut example in Section 2.1 uses 8 KB pages.
@@ -37,14 +37,29 @@ pub struct DsmConfig {
 }
 
 impl DsmConfig {
+    /// Validate a configuration: both fields must be positive.  A one-processor
+    /// configuration is legal — the simulators treat it as a zero-communication fast
+    /// path (there is no remote node to exchange diffs, pages, or lock grants with).
+    pub fn try_new(page_bytes: usize, num_procs: usize) -> Result<Self, &'static str> {
+        if page_bytes == 0 {
+            return Err("page size must be positive");
+        }
+        if num_procs == 0 {
+            return Err("need at least one processor");
+        }
+        Ok(DsmConfig { page_bytes, num_procs })
+    }
+
     /// Create a configuration.
     ///
     /// # Panics
-    /// Panics if either field is zero.
+    /// Panics if either field is zero (see [`DsmConfig::try_new`] for the fallible
+    /// variant).
     pub fn new(page_bytes: usize, num_procs: usize) -> Self {
-        assert!(page_bytes > 0, "page size must be positive");
-        assert!(num_procs > 0, "need at least one processor");
-        DsmConfig { page_bytes, num_procs }
+        match Self::try_new(page_bytes, num_procs) {
+            Ok(config) => config,
+            Err(msg) => panic!("{msg}"),
+        }
     }
 
     /// The paper's software DSM cluster: 4 KB pages, `num_procs` nodes.
@@ -78,7 +93,7 @@ pub struct ProcStats {
 }
 
 /// Aggregate statistics for a whole run of one protocol on one trace.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DsmStats {
     /// Total messages exchanged (the paper's "Messages" column in Table 3).
     pub messages: u64,
@@ -104,7 +119,7 @@ impl DsmStats {
 }
 
 /// The complete result of simulating one protocol over one trace.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DsmRunResult {
     /// Which protocol produced the result.
     pub protocol: Protocol,
@@ -129,6 +144,24 @@ impl DsmRunResult {
             && self.stats.data_bytes >= data
             && self.stats.remote_faults == faults
     }
+}
+
+/// The zero-communication result for a one-processor configuration: compute work,
+/// lock acquisitions and barriers are counted, but no messages, faults or data move —
+/// a single node has nobody to exchange diffs, pages, lock grants or barrier
+/// notifications with.  Both protocol simulators and the [`crate::reference`]
+/// executable spec share this path so their P=1 results stay bit-identical.
+pub(crate) fn single_proc_result(
+    protocol: Protocol,
+    config: DsmConfig,
+    accesses: u64,
+    lock_acquires: u64,
+    barriers: u64,
+) -> DsmRunResult {
+    debug_assert_eq!(config.num_procs, 1);
+    let per_proc = vec![ProcStats { accesses, lock_acquires, ..Default::default() }];
+    let stats = DsmStats { barriers, lock_acquires, ..Default::default() };
+    DsmRunResult { protocol, config, stats, per_proc }
 }
 
 #[cfg(test)]
@@ -158,5 +191,23 @@ mod tests {
     #[should_panic(expected = "at least one processor")]
     fn zero_procs_panics() {
         DsmConfig::new(4096, 0);
+    }
+
+    #[test]
+    fn try_new_rejects_zero_fields_without_panicking() {
+        assert!(DsmConfig::try_new(0, 4).is_err());
+        assert!(DsmConfig::try_new(4096, 0).is_err());
+        assert_eq!(DsmConfig::try_new(4096, 16), Ok(DsmConfig::new(4096, 16)));
+    }
+
+    #[test]
+    fn single_proc_result_is_communication_free() {
+        let r = single_proc_result(Protocol::TreadMarks, DsmConfig::new(4096, 1), 100, 3, 2);
+        assert_eq!(r.stats.messages, 0);
+        assert_eq!(r.stats.data_bytes, 0);
+        assert_eq!(r.stats.barriers, 2);
+        assert_eq!(r.stats.lock_acquires, 3);
+        assert_eq!(r.per_proc[0].accesses, 100);
+        assert!(r.aggregate_consistent());
     }
 }

@@ -1,0 +1,287 @@
+//! Streaming page-history accumulation: a [`smtrace::TraceSink`] that reduces an
+//! application's traced execution to one [`PageWriteHistory`] per page granularity
+//! without ever materializing the trace.
+//!
+//! This is the DSM counterpart of `memsim::SimSink` from the replay-throughput rework:
+//! the applications' `stream_steps` / `stream_iterations` / `stream_sweeps` entry
+//! points emit accesses, locks and barriers into the sink, which buffers exactly one
+//! synchronization interval (4 bytes per access, buffers reused across intervals) and
+//! reduces it at every barrier.  The reduction sorts and deduplicates the interval's
+//! object ids once per processor in reused scratch buffers and then folds them into
+//! flat sorted per-page vectors for **each** requested page size — so a single traced
+//! run can be evaluated at the 4 KB DSM page and the 16 KB hardware page in one pass.
+//!
+//! Steady-state cost per interval: one `sort_unstable` + dedup per processor over the
+//! interval's accesses, then a linear page-emission pass per granularity.  The only
+//! allocations are the per-page vectors stored in the resulting histories.
+
+use smtrace::{Access, ObjectLayout, TraceSink};
+
+use crate::history::{IntervalPageSets, PageWriteHistory};
+
+/// One page granularity being accumulated.
+#[derive(Debug)]
+struct GranularityAcc {
+    page_bytes: usize,
+    num_pages: usize,
+    intervals: Vec<Vec<IntervalPageSets>>,
+}
+
+/// A [`TraceSink`] that accumulates [`PageWriteHistory`] interval-by-interval, at one
+/// or several page granularities, straight from a streamed trace.
+#[derive(Debug)]
+pub struct PageHistorySink {
+    layout: ObjectLayout,
+    num_procs: usize,
+    granularities: Vec<GranularityAcc>,
+    /// Per-processor access buffer for the current interval (cleared, not dropped).
+    buffers: Vec<Vec<Access>>,
+    /// Per-processor lock acquisitions in the current interval.
+    locks: Vec<u32>,
+    /// Number of barriers seen.
+    barriers: u64,
+    /// Scratch: distinct read / written object ids of one processor (reused).
+    scratch_reads: Vec<u32>,
+    scratch_writes: Vec<u32>,
+}
+
+impl PageHistorySink {
+    /// Start a single-granularity reduction over pages of `page_bytes` bytes for an
+    /// object array with the given layout, partitioned over `num_procs` virtual
+    /// processors.
+    ///
+    /// # Panics
+    /// Panics if `num_procs` or `page_bytes` is zero.
+    pub fn new(layout: ObjectLayout, num_procs: usize, page_bytes: usize) -> Self {
+        Self::with_granularities(layout, num_procs, &[page_bytes])
+    }
+
+    /// Start a reduction that produces one [`PageWriteHistory`] per entry of
+    /// `page_sizes`, all accumulated in a single pass over the stream.
+    ///
+    /// # Panics
+    /// Panics if `num_procs` is zero, `page_sizes` is empty, or any page size is zero.
+    pub fn with_granularities(
+        layout: ObjectLayout,
+        num_procs: usize,
+        page_sizes: &[usize],
+    ) -> Self {
+        assert!(num_procs > 0, "num_procs must be positive");
+        assert!(!page_sizes.is_empty(), "need at least one page granularity");
+        let granularities = page_sizes
+            .iter()
+            .map(|&page_bytes| {
+                assert!(page_bytes > 0, "page size must be positive");
+                GranularityAcc {
+                    page_bytes,
+                    num_pages: layout.num_units(page_bytes),
+                    intervals: Vec::new(),
+                }
+            })
+            .collect();
+        PageHistorySink {
+            layout,
+            num_procs,
+            granularities,
+            buffers: vec![Vec::new(); num_procs],
+            locks: vec![0; num_procs],
+            barriers: 0,
+            scratch_reads: Vec::new(),
+            scratch_writes: Vec::new(),
+        }
+    }
+
+    /// The page sizes being accumulated, in construction order.
+    pub fn page_sizes(&self) -> Vec<usize> {
+        self.granularities.iter().map(|g| g.page_bytes).collect()
+    }
+
+    /// Whether the current (unflushed) interval holds no events.
+    fn current_is_empty(&self) -> bool {
+        self.buffers.iter().all(Vec::is_empty) && self.locks.iter().all(|&l| l == 0)
+    }
+
+    /// Reduce the buffered interval into every granularity and reset the buffers.
+    fn flush_interval(&mut self) {
+        for g in &mut self.granularities {
+            g.intervals.push(Vec::with_capacity(self.num_procs));
+        }
+        for proc in 0..self.num_procs {
+            self.scratch_reads.clear();
+            self.scratch_writes.clear();
+            for access in &self.buffers[proc] {
+                if access.is_write() {
+                    self.scratch_writes.push(access.object_u32());
+                } else {
+                    self.scratch_reads.push(access.object_u32());
+                }
+            }
+            self.scratch_reads.sort_unstable();
+            self.scratch_reads.dedup();
+            self.scratch_writes.sort_unstable();
+            self.scratch_writes.dedup();
+            for g in &mut self.granularities {
+                let mut sets = IntervalPageSets {
+                    lock_acquires: self.locks[proc],
+                    accesses: self.buffers[proc].len() as u64,
+                    ..Default::default()
+                };
+                sets.accumulate(
+                    &self.scratch_reads,
+                    &self.scratch_writes,
+                    &self.layout,
+                    g.page_bytes,
+                    g.num_pages,
+                );
+                g.intervals.last_mut().expect("interval pushed above").push(sets);
+            }
+            self.buffers[proc].clear();
+        }
+        self.locks.fill(0);
+    }
+
+    /// Finish the stream and return one history per requested granularity, in the order
+    /// the page sizes were given.  A non-empty trailing interval is kept (it is not a
+    /// barrier), exactly like [`smtrace::TraceBuilder::finish`].
+    pub fn finish_all(mut self) -> Vec<PageWriteHistory> {
+        if !self.current_is_empty() {
+            self.flush_interval();
+        }
+        let num_procs = self.num_procs;
+        let barriers = self.barriers;
+        self.granularities
+            .into_iter()
+            .map(|g| PageWriteHistory {
+                page_bytes: g.page_bytes,
+                num_pages: g.num_pages,
+                num_procs,
+                intervals: g.intervals,
+                barriers,
+            })
+            .collect()
+    }
+
+    /// Finish a single-granularity sink.
+    ///
+    /// # Panics
+    /// Panics if the sink was built with more than one granularity (use
+    /// [`PageHistorySink::finish_all`]).
+    pub fn finish(self) -> PageWriteHistory {
+        assert_eq!(self.granularities.len(), 1, "multi-granularity sink: use finish_all");
+        self.finish_all().pop().expect("exactly one granularity")
+    }
+}
+
+impl TraceSink for PageHistorySink {
+    fn num_procs(&self) -> usize {
+        self.num_procs
+    }
+
+    fn record(&mut self, proc: usize, access: Access) {
+        debug_assert!(proc < self.num_procs);
+        self.buffers[proc].push(access);
+    }
+
+    fn lock(&mut self, proc: usize, lock: u32) {
+        debug_assert!(proc < self.num_procs);
+        let _ = lock;
+        self.locks[proc] += 1;
+    }
+
+    fn barrier(&mut self) {
+        // A barrier always closes an interval, even an empty one, mirroring
+        // `TraceBuilder::barrier` so streamed and materialized reductions align.
+        self.flush_interval();
+        self.barriers += 1;
+    }
+
+    fn record_many(&mut self, proc: usize, accesses: &[Access]) {
+        debug_assert!(proc < self.num_procs);
+        self.buffers[proc].extend_from_slice(accesses);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtrace::{TeeSink, TraceBuilder};
+
+    fn layout() -> ObjectLayout {
+        ObjectLayout::new(256, 64)
+    }
+
+    fn drive(sink: &mut dyn TraceSink) {
+        sink.write(0, 1);
+        sink.write(0, 1);
+        sink.read(1, 65);
+        sink.read(1, 65);
+        sink.lock(2, 5);
+        sink.barrier();
+        sink.read(0, 130);
+        sink.write(2, 130);
+        sink.write(2, 131);
+    }
+
+    #[test]
+    fn sink_matches_the_materialized_reduction() {
+        let mut builder = TraceBuilder::new(layout(), 3);
+        let mut sink = PageHistorySink::new(layout(), 3, 4096);
+        drive(&mut builder);
+        drive(&mut sink);
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        let materialized = PageWriteHistory::build(&trace, &layout(), 4096);
+        assert_eq!(streamed, materialized);
+    }
+
+    #[test]
+    fn multi_granularity_pass_matches_per_granularity_builds() {
+        let mut builder = TraceBuilder::new(layout(), 3);
+        let mut sink = PageHistorySink::with_granularities(layout(), 3, &[1024, 4096, 16384]);
+        {
+            let mut tee = TeeSink::new(&mut builder, &mut sink);
+            drive(&mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish_all();
+        assert_eq!(streamed.len(), 3);
+        for (history, page_bytes) in streamed.iter().zip([1024, 4096, 16384]) {
+            assert_eq!(history, &PageWriteHistory::build(&trace, &layout(), page_bytes));
+        }
+    }
+
+    #[test]
+    fn empty_trailing_interval_is_dropped_and_barriers_are_counted() {
+        let mut sink = PageHistorySink::new(layout(), 2, 4096);
+        sink.write(0, 1);
+        sink.barrier();
+        sink.barrier(); // empty barrier-closed interval is kept
+        let h = sink.finish();
+        assert_eq!(h.intervals.len(), 2);
+        assert_eq!(h.barriers, 2);
+        assert!(h.intervals[1].iter().all(|s| s.accesses == 0));
+    }
+
+    #[test]
+    fn lock_only_trailing_interval_is_kept() {
+        let mut sink = PageHistorySink::new(layout(), 2, 4096);
+        sink.barrier();
+        sink.lock(1, 9);
+        let h = sink.finish();
+        assert_eq!(h.intervals.len(), 2);
+        assert_eq!(h.barriers, 1, "the trailing interval is closed by End, not a barrier");
+        assert_eq!(h.intervals[1][1].lock_acquires, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "num_procs must be positive")]
+    fn zero_procs_panics() {
+        PageHistorySink::new(layout(), 0, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one page granularity")]
+    fn no_granularities_panics() {
+        PageHistorySink::with_granularities(layout(), 2, &[]);
+    }
+}

@@ -17,20 +17,69 @@
 //!
 //! The quantities the paper reports (messages, Mbytes) are therefore determined by the
 //! per-interval page write history alone — which is what the simulator consumes.
+//!
+//! ## Evaluation strategy
+//!
+//! The protocol state (`last_seen` per page) and every per-processor counter depend
+//! only on that processor's own accesses plus the *global* write timeline, which is
+//! immutable once the history exists.  [`TreadMarksSim::run_history`] therefore builds
+//! the per-page timeline once and evaluates every processor's intervals **in
+//! parallel** (rayon), each worker walking the flat sorted page sets with reused
+//! scratch buffers; the diffs each writer served are accumulated locally per worker
+//! and summed afterwards, so results are deterministic and bit-identical to the serial
+//! [`crate::reference`] spec.
 
+use rayon::prelude::*;
 use smtrace::{ObjectLayout, ProgramTrace};
 
 use crate::history::PageWriteHistory;
-use crate::protocol::{DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
+use crate::protocol::{single_proc_result, DsmConfig, DsmRunResult, DsmStats, ProcStats, Protocol};
 
 /// Messages per barrier for a P-processor barrier (arrival and release messages between
-/// every non-manager node and the barrier manager).
+/// every non-manager node and the barrier manager).  Zero for a single node — and for
+/// `num_procs == 0` this saturates to 0 instead of underflowing to 2^64 − 2.
 pub fn barrier_messages(num_procs: usize) -> u64 {
-    2 * (num_procs as u64 - 1)
+    2 * (num_procs as u64).saturating_sub(1)
 }
 
 /// Messages per lock acquisition (request, forward to last owner, grant).
 pub const LOCK_MESSAGES: u64 = 3;
+
+/// Per-page write timeline shared by the worker threads: every `(interval, writer,
+/// diff bytes)` triple, grouped by page and sorted by interval (construction order).
+pub(crate) struct WriteTimeline {
+    per_page: Vec<Vec<(u32, u32, u64)>>,
+}
+
+impl WriteTimeline {
+    pub(crate) fn build(history: &PageWriteHistory) -> Self {
+        let mut per_page: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); history.num_pages];
+        for (t, interval) in history.intervals.iter().enumerate() {
+            for (w, sets) in interval.iter().enumerate() {
+                for pw in &sets.writes {
+                    per_page[pw.page as usize].push((t as u32, w as u32, pw.bytes));
+                }
+            }
+        }
+        WriteTimeline { per_page }
+    }
+
+    /// The entries for `page` with interval index in `[from, upto)`.
+    pub(crate) fn range(&self, page: usize, from: u32, upto: u32) -> &[(u32, u32, u64)] {
+        let entries = &self.per_page[page];
+        let start = entries.partition_point(|&(t, _, _)| t < from);
+        let end = entries.partition_point(|&(t, _, _)| t < upto);
+        &entries[start..end]
+    }
+}
+
+/// One worker's outcome: the processor's own statistics plus the diffs it pulled from
+/// each peer (index = serving writer).
+struct ProcOutcome {
+    stats: ProcStats,
+    served_diffs: Vec<u64>,
+    served_bytes: Vec<u64>,
+}
 
 /// The TreadMarks-like protocol simulator.
 #[derive(Debug, Clone)]
@@ -61,84 +110,92 @@ impl TreadMarksSim {
         self.run_history(&history)
     }
 
+    /// Simulate one processor's whole run against the shared timeline.
+    fn evaluate_proc(
+        &self,
+        proc: usize,
+        history: &PageWriteHistory,
+        timeline: &WriteTimeline,
+    ) -> ProcOutcome {
+        let p = self.config.num_procs;
+        let mut stats = ProcStats::default();
+        let mut served_diffs = vec![0u64; p];
+        let mut served_bytes = vec![0u64; p];
+        // last_seen[page]: this processor has incorporated all diffs from intervals
+        // strictly before this value (everyone starts with the initialized data).
+        let mut last_seen = vec![0u32; history.num_pages];
+        // Scratch: per-writer diff bytes of the fault being processed, plus the
+        // writers touched (so only they are reset afterwards).
+        let mut writer_bytes = vec![0u64; p];
+        let mut writers: Vec<u32> = Vec::new();
+        for (t, interval) in history.intervals.iter().enumerate() {
+            let sets = &interval[proc];
+            stats.accesses += sets.accesses;
+            stats.lock_acquires += u64::from(sets.lock_acquires);
+            // Pages this processor touches in this interval (read or write): it must
+            // first validate them by fetching any missing diffs from other writers.
+            for page in sets.touched_pages() {
+                let from = last_seen[page as usize];
+                if from as usize >= t {
+                    continue;
+                }
+                last_seen[page as usize] = t as u32;
+                for &(_, w, bytes) in timeline.range(page as usize, from, t as u32) {
+                    if w as usize == proc {
+                        continue;
+                    }
+                    // Every timeline entry carries >= 1 byte (a written object always
+                    // lands at least one byte on the page), so a zero here means "not
+                    // seen yet for this fault".
+                    if writer_bytes[w as usize] == 0 {
+                        writers.push(w);
+                    }
+                    writer_bytes[w as usize] += bytes;
+                }
+                if writers.is_empty() {
+                    continue;
+                }
+                // One remote fault, one request/response exchange per writer.
+                stats.remote_faults += 1;
+                for &w in &writers {
+                    let bytes = std::mem::take(&mut writer_bytes[w as usize]);
+                    stats.fetch_exchanges += 1;
+                    stats.messages += 2;
+                    stats.data_bytes += bytes;
+                    served_diffs[w as usize] += 1;
+                    served_bytes[w as usize] += bytes;
+                }
+                writers.clear();
+            }
+        }
+        stats.messages += LOCK_MESSAGES * stats.lock_acquires;
+        ProcOutcome { stats, served_diffs, served_bytes }
+    }
+
     /// Simulate the protocol over a pre-built page write history.
     pub fn run_history(&self, history: &PageWriteHistory) -> DsmRunResult {
         let p = self.config.num_procs;
         assert_eq!(history.num_procs, p, "history and configuration disagree on processor count");
-        let num_pages = history.num_pages;
-
-        // diff_bytes[t][page] for each writer: bytes written by `writer` to `page` in
-        // interval `t`.  Stored per interval as a map from page to per-writer bytes.
-        // For the fault processing we need, for each page, the list of (interval,
-        // writer, bytes); build a per-page timeline.
-        let mut timeline: Vec<Vec<(usize, usize, u64)>> = vec![Vec::new(); num_pages];
-        for (t, per_proc) in history.intervals.iter().enumerate() {
-            for (w, sets) in per_proc.iter().enumerate() {
-                for (&page, &bytes) in &sets.writes {
-                    if page < num_pages {
-                        timeline[page].push((t, w, bytes));
-                    }
-                }
-            }
+        if p == 1 {
+            return single_proc_result(
+                Protocol::TreadMarks,
+                self.config,
+                history.proc_accesses(0),
+                history.proc_lock_acquires(0),
+                history.barriers,
+            );
         }
 
-        let mut per_proc = vec![ProcStats::default(); p];
-        // Diffs served by each processor to its peers (accumulated separately to avoid
-        // double-borrowing `per_proc` inside the fault loop).
-        let mut served_diffs = vec![0u64; p];
-        let mut served_bytes = vec![0u64; p];
-        // last_seen[proc][page]: the processor has incorporated all diffs from intervals
-        // strictly before this value.  Initially 0 (everyone starts with the initialized
-        // data of "interval -1").
-        let mut last_seen = vec![vec![0usize; num_pages]; p];
+        let timeline = WriteTimeline::build(history);
+        let outcomes: Vec<ProcOutcome> = (0..p)
+            .into_par_iter()
+            .map(|proc| self.evaluate_proc(proc, history, &timeline))
+            .collect();
 
-        for (t, interval) in history.intervals.iter().enumerate() {
-            for (proc, sets) in interval.iter().enumerate() {
-                let stats = &mut per_proc[proc];
-                stats.accesses += sets.accesses;
-                stats.lock_acquires += u64::from(sets.lock_acquires);
-                // Pages this processor touches in this interval (read or write): it must
-                // first validate them by fetching any missing diffs from other writers.
-                let touched: std::collections::BTreeSet<usize> = sets
-                    .reads
-                    .keys()
-                    .chain(sets.writes.keys())
-                    .copied()
-                    .filter(|&pg| pg < num_pages)
-                    .collect();
-                for page in touched {
-                    let from = last_seen[proc][page];
-                    if from >= t {
-                        continue;
-                    }
-                    // Collect per-writer diff bytes for intervals in [from, t).
-                    let mut per_writer: std::collections::BTreeMap<usize, u64> =
-                        std::collections::BTreeMap::new();
-                    for &(ti, w, bytes) in &timeline[page] {
-                        if ti >= from && ti < t && w != proc {
-                            *per_writer.entry(w).or_insert(0) += bytes;
-                        }
-                    }
-                    last_seen[proc][page] = t;
-                    if per_writer.is_empty() {
-                        continue;
-                    }
-                    // One remote fault, one request/response exchange per writer.
-                    stats.remote_faults += 1;
-                    for (&writer, &bytes) in &per_writer {
-                        stats.fetch_exchanges += 1;
-                        stats.messages += 2;
-                        stats.data_bytes += bytes;
-                        served_diffs[writer] += 1;
-                        served_bytes[writer] += bytes;
-                    }
-                }
-            }
-        }
-        for proc in 0..p {
-            per_proc[proc].diffs_sent = served_diffs[proc];
-            per_proc[proc].diff_bytes_sent = served_bytes[proc];
-            per_proc[proc].messages += LOCK_MESSAGES * per_proc[proc].lock_acquires;
+        let mut per_proc: Vec<ProcStats> = outcomes.iter().map(|o| o.stats).collect();
+        for (proc, stats) in per_proc.iter_mut().enumerate() {
+            stats.diffs_sent = outcomes.iter().map(|o| o.served_diffs[proc]).sum();
+            stats.diff_bytes_sent = outcomes.iter().map(|o| o.served_bytes[proc]).sum();
         }
 
         let mut stats = DsmStats {
@@ -304,5 +361,33 @@ mod tests {
         let received: u64 = r.per_proc.iter().map(|p| p.data_bytes).sum();
         let sent: u64 = r.per_proc.iter().map(|p| p.diff_bytes_sent).sum();
         assert_eq!(received, sent);
+    }
+
+    #[test]
+    fn barrier_messages_saturate_instead_of_underflowing() {
+        assert_eq!(barrier_messages(0), 0);
+        assert_eq!(barrier_messages(1), 0);
+        assert_eq!(barrier_messages(2), 2);
+        assert_eq!(barrier_messages(16), 30);
+    }
+
+    /// P=1 is a zero-communication fast path: work and synchronization are counted,
+    /// but no messages of any kind (no peers, no lock manager, no barrier manager).
+    #[test]
+    fn single_processor_run_is_communication_free() {
+        let layout = ObjectLayout::new(64, 64);
+        let mut b = TraceBuilder::new(layout.clone(), 1);
+        b.write(0, 1);
+        b.lock(0, 7);
+        b.barrier();
+        b.read(0, 1);
+        b.barrier();
+        let trace = b.finish();
+        let r = TreadMarksSim::new(DsmConfig::new(4096, 1)).run(&trace);
+        assert_eq!(r.stats.messages, 0);
+        assert_eq!(r.stats.data_bytes, 0);
+        assert_eq!(r.stats.barriers, 2);
+        assert_eq!(r.stats.lock_acquires, 1);
+        assert_eq!(r.per_proc[0].accesses, 2);
     }
 }

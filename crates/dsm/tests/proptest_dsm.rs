@@ -60,8 +60,9 @@ proptest! {
         prop_assert!(r.aggregate_consistent());
     }
 
-    /// A single-processor trace never generates any fetch or diff traffic on either
-    /// protocol (there is nobody to communicate with).
+    /// A single-processor trace never generates any communication at all on either
+    /// protocol (there is nobody to exchange diffs, pages, lock grants or barrier
+    /// notifications with) — the P=1 zero-communication fast path.
     #[test]
     fn single_processor_traces_are_communication_free(trace in arbitrary_trace(1, 32)) {
         let config = DsmConfig::new(1024, 1);
@@ -69,8 +70,10 @@ proptest! {
         let hlrc = HlrcSim::new(config).run(&trace);
         prop_assert_eq!(tmk.stats.data_bytes, 0);
         prop_assert_eq!(tmk.stats.remote_faults, 0);
+        prop_assert_eq!(tmk.stats.messages, 0);
         prop_assert_eq!(hlrc.stats.data_bytes, 0);
         prop_assert_eq!(hlrc.stats.remote_faults, 0);
+        prop_assert_eq!(hlrc.stats.messages, 0);
     }
 
     /// The message count of both protocols never decreases when an extra reader

@@ -505,4 +505,22 @@ mod tests {
             assert_eq!(owners.iter().filter(|&&o| o == p).count(), 20);
         }
     }
+
+    /// `stream_steps` feeds the DSM page-history sink directly: the streamed reduction
+    /// must be bit-identical to materializing the trace and reducing it afterwards.
+    #[test]
+    fn stream_steps_feeds_the_dsm_page_history_sink() {
+        let mut sim = small(200, 11);
+        let layout = sim.layout();
+        let mut builder = TraceBuilder::new(layout.clone(), 4);
+        let mut sink = dsm::PageHistorySink::new(layout.clone(), 4, 1024);
+        {
+            let mut tee = smtrace::TeeSink::new(&mut builder, &mut sink);
+            sim.stream_steps(2, &mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        assert_eq!(streamed, dsm::PageWriteHistory::build(&trace, &layout, 1024));
+        assert!(streamed.intervals.iter().any(|iv| iv.iter().any(|s| !s.writes.is_empty())));
+    }
 }

@@ -411,4 +411,22 @@ mod tests {
         }
         assert!(seen.iter().all(|&s| s), "every processor must own at least one cell");
     }
+
+    /// `stream_steps` feeds the DSM page-history sink directly; with 680-byte
+    /// molecules every page boundary is straddled, so this also exercises the
+    /// per-page byte attribution on a real application stream.
+    #[test]
+    fn stream_steps_feeds_the_dsm_page_history_sink() {
+        let mut sim = small(200, 13);
+        let layout = sim.layout();
+        let mut builder = TraceBuilder::new(layout.clone(), 4);
+        let mut sink = dsm::PageHistorySink::new(layout.clone(), 4, 4096);
+        {
+            let mut tee = smtrace::TeeSink::new(&mut builder, &mut sink);
+            sim.stream_steps(2, &mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        assert_eq!(streamed, dsm::PageWriteHistory::build(&trace, &layout, 4096));
+    }
 }

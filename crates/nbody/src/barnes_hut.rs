@@ -448,4 +448,21 @@ mod tests {
         sim.step_sequential();
         assert!(sim.bodies.iter().any(|b| b.cost > 1));
     }
+
+    /// `stream_iterations` feeds the DSM page-history sink directly: the streamed
+    /// reduction must be bit-identical to materializing the trace first.
+    #[test]
+    fn stream_iterations_feeds_the_dsm_page_history_sink() {
+        let mut sim = small_sim(300, 17, 0.5);
+        let layout = sim.layout();
+        let mut builder = TraceBuilder::new(layout.clone(), 4);
+        let mut sink = dsm::PageHistorySink::new(layout.clone(), 4, 1024);
+        {
+            let mut tee = smtrace::TeeSink::new(&mut builder, &mut sink);
+            sim.stream_iterations(2, &mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        assert_eq!(streamed, dsm::PageWriteHistory::build(&trace, &layout, 1024));
+    }
 }

@@ -600,4 +600,21 @@ mod tests {
             assert!(part.leaves[o].contains(&(c as CellId)));
         }
     }
+
+    /// `stream_iterations` feeds the DSM page-history sink directly, including the
+    /// lock acquisitions of the FMM's locked phases.
+    #[test]
+    fn stream_iterations_feeds_the_dsm_page_history_sink() {
+        let mut fmm = small_fmm(300, 19);
+        let layout = fmm.layout();
+        let mut builder = TraceBuilder::new(layout.clone(), 3);
+        let mut sink = dsm::PageHistorySink::new(layout.clone(), 3, 1024);
+        {
+            let mut tee = smtrace::TeeSink::new(&mut builder, &mut sink);
+            fmm.stream_iterations(1, &mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        assert_eq!(streamed, dsm::PageWriteHistory::build(&trace, &layout, 1024));
+    }
 }

@@ -462,4 +462,21 @@ mod tests {
         }
         assert_eq!(*owners.last().unwrap(), 15);
     }
+
+    /// `stream_sweeps` feeds the DSM page-history sink directly: the streamed
+    /// reduction must be bit-identical to materializing the trace first.
+    #[test]
+    fn stream_sweeps_feeds_the_dsm_page_history_sink() {
+        let mut app = small(21);
+        let layout = app.layout();
+        let mut builder = TraceBuilder::new(layout.clone(), 4);
+        let mut sink = dsm::PageHistorySink::new(layout.clone(), 4, 1024);
+        {
+            let mut tee = smtrace::TeeSink::new(&mut builder, &mut sink);
+            app.stream_sweeps(2, &mut tee);
+        }
+        let trace = builder.finish();
+        let streamed = sink.finish();
+        assert_eq!(streamed, dsm::PageWriteHistory::build(&trace, &layout, 1024));
+    }
 }
