@@ -1,0 +1,71 @@
+//! Criterion bench for the sharded trace producers behind `xp bench gen-throughput`:
+//! shard fill + drain for Barnes-Hut — the largest application at `--scale small`
+//! (16 384 bodies) — comparing the serial `step_traced` executable spec against the
+//! sharded `stream_iterations` path, both feeding a materializing sink, plus the pure
+//! `ShardSet` fill/drain cycle in isolation (no application compute).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use nbody::{BarnesHut, BarnesHutParams};
+use smtrace::{ObjectLayout, ShardSet, TraceBuilder};
+
+const BODIES: usize = 16_384;
+const PROCS: usize = 16;
+
+fn bench_gen_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trace_gen_barnes_hut");
+    group.sample_size(10);
+    let initial = BarnesHut::two_plummer(BODIES, 7, BarnesHutParams::default());
+    // `iter_batched` keeps the 16 384-body clone out of the timed region, so the
+    // serial-vs-sharded ratio reflects generation alone.
+    group.bench_with_input(BenchmarkId::new("app_to_builder", "serial"), &initial, |b, sim| {
+        b.iter_batched(
+            || sim.clone(),
+            |mut live| {
+                let mut builder = TraceBuilder::new(live.layout(), PROCS);
+                live.step_traced(PROCS, &mut builder);
+                builder.finish().total_accesses()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_with_input(BenchmarkId::new("app_to_builder", "sharded"), &initial, |b, sim| {
+        b.iter_batched(
+            || sim.clone(),
+            |mut live| {
+                let mut builder = TraceBuilder::new(live.layout(), PROCS);
+                live.stream_iterations(1, &mut builder);
+                builder.finish().total_accesses()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_shard_fill_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_fill_drain");
+    group.sample_size(10);
+    // The fill/drain cycle alone: one interval of round-robin object accesses per
+    // processor, drained into a materializing sink — the pure overhead the sharded
+    // path pays over emitting straight into the sink.
+    let layout = ObjectLayout::new(BODIES, 96);
+    group.bench_with_input(BenchmarkId::new("one_interval", BODIES), &layout, |b, layout| {
+        let mut shards = ShardSet::new(PROCS);
+        b.iter(|| {
+            let mut builder = TraceBuilder::new(layout.clone(), PROCS);
+            for p in 0..PROCS {
+                let shard = shards.shard_mut(p);
+                for i in (p..BODIES).step_by(PROCS) {
+                    shard.read(i);
+                    shard.write(i);
+                }
+            }
+            shards.drain_interval(&mut builder);
+            builder.finish().total_accesses()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gen_paths, bench_shard_fill_drain);
+criterion_main!(benches);

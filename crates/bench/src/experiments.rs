@@ -234,6 +234,33 @@ pub static EXPERIMENTS: &[ExperimentSpec] = &[
         run: run_bench_dsm_throughput,
     },
     ExperimentSpec {
+        id: "bench_gen_throughput",
+        aliases: &["gen-throughput", "gen_throughput", "bench-gen-throughput"],
+        title: "Gen-throughput bench: trace generation paths from live application to the Origin 2000 model",
+        columns: &[
+            "app", "n", "procs", "path", "accesses", "gen_ms", "maccess_s", "l2_misses",
+            "tlb_misses", "coherence_misses", "speedup_vs_serial",
+        ],
+        notes: &[
+            "Paths: `serial` loops the applications' preserved step_traced/sweep_traced",
+            "executable specs — one virtual processor after another, one access at a time —",
+            "into a streaming SimSink; `sharded` is the stream_* path, where each virtual",
+            "processor's chunk (tree traversal, force/sweep compute, access recording) runs",
+            "as a rayon task into its own smtrace::Shard and the shards drain into the same",
+            "sink in deterministic processor order.  Both paths run the full live",
+            "application (physics included), so this measures the end-to-end producer",
+            "pipeline the consumers of sim-/dsm-throughput are fed by.  Per-processor",
+            "cache/TLB/coherence counters are asserted identical across paths — the shard",
+            "drain is bit-faithful, not approximately equivalent.  Expected shape: on a",
+            "multi-core host the sharded path wins roughly in proportion to min(cores,",
+            "procs) on the evaluation-heavy apps; on a 1-core host the rayon shim runs the",
+            "tasks inline and the two paths should be within noise of each other (the",
+            "sharded path pays only the buffer drain).  Cells run sequentially for honest",
+            "wall-clock.",
+        ],
+        run: run_bench_gen_throughput,
+    },
+    ExperimentSpec {
         id: "ablation_unit_sweep",
         aliases: &["unit-sweep", "unit_sweep"],
         title: "Ablation: consistency-unit-size sweep, Moldyn (TreadMarks-model messages/data)",
@@ -879,7 +906,15 @@ fn run_bench_sim_throughput(cfg: &RunConfig) -> Vec<Row> {
     }
     // Summary rows: aggregate throughput over all five applications plus the geomean
     // per-application speedup — the headline replay-throughput claim.
-    for s in summarize_bench_paths(&rows, 3, 4, 5, &[7, 8, 9], 10) {
+    for s in summarize_bench_paths(
+        &rows,
+        &["reference", "materialized", "streaming"],
+        3,
+        4,
+        5,
+        &[7, 8, 9],
+        10,
+    ) {
         rows.push(row![
             "(all)",
             0usize,
@@ -909,12 +944,13 @@ struct PathSummary {
     geomean_speedup: f64,
 }
 
-/// Aggregate the `(all)` summary per replay path (reference / materialized /
-/// streaming): total accesses and wall-clock, aggregate throughput, sums of the
-/// requested counter columns, and the geomean per-application speedup.  Shared by the
-/// sim-throughput and dsm-throughput benches, which differ only in column layout.
+/// Aggregate the `(all)` summary per path: total accesses and wall-clock, aggregate
+/// throughput, sums of the requested counter columns, and the geomean per-application
+/// speedup.  Shared by the sim-, dsm- and gen-throughput benches, which differ only in
+/// column layout and path names.
 fn summarize_bench_paths(
     rows: &[Row],
+    paths: &[&'static str],
     path_col: usize,
     accesses_col: usize,
     ms_col: usize,
@@ -926,8 +962,9 @@ fn summarize_bench_paths(
         crate::runner::Value::Float(v) => *v,
         crate::runner::Value::Str(_) => 0.0,
     };
-    ["reference", "materialized", "streaming"]
-        .into_iter()
+    paths
+        .iter()
+        .copied()
         .map(|path| {
             let path_rows: Vec<&Row> = rows
                 .iter()
@@ -1065,7 +1102,9 @@ fn run_bench_dsm_throughput(cfg: &RunConfig) -> Vec<Row> {
     }
     // Summary rows: aggregate throughput over the three applications plus the geomean
     // per-application speedup — the headline pipeline-throughput claim.
-    for s in summarize_bench_paths(&rows, 4, 5, 6, &[], 12) {
+    for s in
+        summarize_bench_paths(&rows, &["reference", "materialized", "streaming"], 4, 5, 6, &[], 12)
+    {
         rows.push(row![
             "(all)",
             "-",
@@ -1079,6 +1118,102 @@ fn run_bench_dsm_throughput(cfg: &RunConfig) -> Vec<Row> {
             0.0f64,
             0u64,
             0.0f64,
+            s.geomean_speedup
+        ]);
+    }
+    rows
+}
+
+fn run_bench_gen_throughput(cfg: &RunConfig) -> Vec<Row> {
+    let scale = cfg.scale;
+    let procs = cfg.procs_or(16);
+    let seed = cfg.seed_or(81);
+    // Best-of-N wall clock per path: generation is deterministic (both paths produce
+    // bit-identical streams), so repetition only filters scheduler noise.
+    let repetitions = if scale == Scale::Tiny { 1 } else { 3 };
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+    let total_accesses = |r: &SimulationResult| r.per_proc.iter().map(|p| p.accesses).sum::<u64>();
+    // This is a wall-clock-timing experiment: cells run *sequentially*, and the
+    // sharded path fans each cell's virtual processors out over all host cores (like
+    // the sim-throughput bench, which times the consumer side of the same pipeline).
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let n = scale.size_of(app);
+        let iters = scale.iterations_of(app);
+        let initial = crate::LiveApp::build(app, n, seed);
+        let layout = initial.layout();
+        let preset = OriginPreset::origin2000(procs);
+
+        // Path 1 — the preserved serial traced specs feeding the streaming sink.
+        let mut serial_ms = f64::INFINITY;
+        let mut serial_result = None;
+        for _ in 0..repetitions {
+            let mut live = initial.clone();
+            let mut sink = SimSink::new(preset.build_machine(), layout.clone());
+            let t0 = Instant::now();
+            live.stream_serial(iters, &mut sink);
+            let result = sink.finish();
+            serial_ms = serial_ms.min(ms(t0));
+            serial_result = Some(result);
+        }
+        let serial_result = serial_result.expect("at least one repetition");
+
+        // Path 2 — sharded parallel generation into the identical sink.
+        let mut sharded_ms = f64::INFINITY;
+        let mut sharded_result = None;
+        for _ in 0..repetitions {
+            let mut live = initial.clone();
+            let mut sink = SimSink::new(preset.build_machine(), layout.clone());
+            let t0 = Instant::now();
+            live.stream_sharded(iters, &mut sink);
+            let result = sink.finish();
+            sharded_ms = sharded_ms.min(ms(t0));
+            sharded_result = Some(result);
+        }
+        let sharded_result = sharded_result.expect("at least one repetition");
+
+        // Identical counters across both producers is a hard correctness requirement,
+        // not a statistical expectation — a divergence here is a sharding bug.
+        assert_eq!(
+            serial_result,
+            sharded_result,
+            "sharded generation diverged from the serial spec for {}",
+            app.name()
+        );
+
+        let accesses = total_accesses(&serial_result);
+        let paths: [(&str, f64, &SimulationResult); 2] =
+            [("serial", serial_ms, &serial_result), ("sharded", sharded_ms, &sharded_result)];
+        for (path, path_ms, result) in paths {
+            rows.push(row![
+                app.name(),
+                initial.num_objects(),
+                procs,
+                path,
+                accesses,
+                path_ms,
+                accesses as f64 / (path_ms * 1e-3) / 1e6,
+                result.l2_misses(),
+                result.tlb_misses(),
+                result.coherence_misses(),
+                serial_ms / path_ms
+            ]);
+        }
+    }
+    // Summary rows: aggregate generation throughput over all five applications plus
+    // the geomean per-application speedup — the headline producer-throughput claim.
+    for s in summarize_bench_paths(&rows, &["serial", "sharded"], 3, 4, 5, &[7, 8, 9], 10) {
+        rows.push(row![
+            "(all)",
+            0usize,
+            procs,
+            s.path,
+            s.accesses,
+            s.ms,
+            s.maccess_s,
+            s.col_sums[0],
+            s.col_sums[1],
+            s.col_sums[2],
             s.geomean_speedup
         ]);
     }
@@ -1128,8 +1263,8 @@ mod tests {
         }
         assert_eq!(
             all().len(),
-            15,
-            "12 legacy specs + the reorder-cost, sim-throughput and dsm-throughput benches"
+            16,
+            "12 legacy specs + the reorder-cost, sim-, dsm- and gen-throughput benches"
         );
     }
 
@@ -1198,6 +1333,21 @@ mod tests {
         assert!(json.contains("\"workload\": \"mesh\""));
         assert!(json.contains("\"workload\": \"lattice\""));
         assert!(json.contains("\"app\": \"(all)\""));
+    }
+
+    #[test]
+    fn gen_throughput_bench_covers_all_apps_and_paths() {
+        let spec = find("gen-throughput").unwrap();
+        assert_eq!(spec.id, "bench_gen_throughput");
+        let result = spec.execute(&RunConfig { scale: Scale::Tiny, procs: Some(4), seed: None });
+        // 5 applications × 2 producer paths, plus one summary row per path; the run
+        // itself asserts that both producers fed identical counters into the sink.
+        assert_eq!(result.rows.len(), 12);
+        let json = result.render(Format::Json);
+        assert!(json.contains("\"path\": \"serial\""));
+        assert!(json.contains("\"path\": \"sharded\""));
+        assert!(json.contains("\"app\": \"(all)\""));
+        assert!(json.contains("\"speedup_vs_serial\": 1"), "serial speedup vs itself is 1.0");
     }
 
     #[test]

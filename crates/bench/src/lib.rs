@@ -28,7 +28,7 @@ use std::time::Instant;
 use molecular::{Moldyn, MoldynParams, WaterSpatial, WaterSpatialParams};
 use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
 use reorder::Method;
-use smtrace::{ObjectLayout, ProgramTrace};
+use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
 use unstructured::{Unstructured, UnstructuredParams};
 
 /// The five applications of the study.
@@ -199,52 +199,119 @@ pub fn build_run_sized(
     num_procs: usize,
     seed: u64,
 ) -> AppRun {
-    match app {
-        AppKind::BarnesHut => {
-            let mut sim = BarnesHut::two_plummer(n, seed, BarnesHutParams::default());
-            let reorder_seconds = apply_ordering(ordering, |m| {
-                sim.reorder(m);
-            });
-            let layout = sim.layout();
-            let trace = sim.trace_iterations(iters, num_procs);
-            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+    let mut live = LiveApp::build(app, n, seed);
+    let reorder_seconds = apply_ordering(ordering, |m| {
+        live.reorder(m);
+    });
+    let layout = live.layout();
+    let num_objects = live.num_objects();
+    let mut builder = TraceBuilder::new(layout.clone(), num_procs);
+    live.stream_sharded(iters, &mut builder);
+    let trace = builder.finish();
+    AppRun { app, ordering, num_objects, layout, trace, reorder_seconds }
+}
+
+/// A live application instance with the standard workload generator and default
+/// parameters for its [`AppKind`] — the single source of truth for "build app X at
+/// size n".  [`build_run_sized`] traces through it, and the gen-throughput bench
+/// re-runs its producer paths directly (it needs the live application, not a
+/// materialized trace).
+#[derive(Clone)]
+pub enum LiveApp {
+    /// SPLASH-2 Barnes-Hut.
+    BarnesHut(BarnesHut),
+    /// SPLASH-2 adaptive FMM.
+    Fmm(Fmm),
+    /// SPLASH-2 Water-Spatial.
+    WaterSpatial(WaterSpatial),
+    /// Chaos Moldyn.
+    Moldyn(Moldyn),
+    /// Chaos Unstructured.
+    Unstructured(Unstructured),
+}
+
+impl LiveApp {
+    /// Build the application at `n` objects from its standard workload.
+    pub fn build(app: AppKind, n: usize, seed: u64) -> LiveApp {
+        match app {
+            AppKind::BarnesHut => {
+                LiveApp::BarnesHut(BarnesHut::two_plummer(n, seed, BarnesHutParams::default()))
+            }
+            AppKind::Fmm => LiveApp::Fmm(Fmm::two_plummer(n, seed, FmmParams::default())),
+            AppKind::WaterSpatial => {
+                LiveApp::WaterSpatial(WaterSpatial::lattice(n, seed, WaterSpatialParams::default()))
+            }
+            AppKind::Moldyn => LiveApp::Moldyn(Moldyn::lattice(n, seed, MoldynParams::default())),
+            AppKind::Unstructured => LiveApp::Unstructured(Unstructured::generated(
+                n,
+                seed,
+                UnstructuredParams::default(),
+            )),
         }
-        AppKind::Fmm => {
-            let mut sim = Fmm::two_plummer(n, seed, FmmParams::default());
-            let reorder_seconds = apply_ordering(ordering, |m| {
-                sim.reorder(m);
-            });
-            let layout = sim.layout();
-            let trace = sim.trace_iterations(iters, num_procs);
-            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+    }
+
+    /// The object-array layout (paper object sizes).
+    pub fn layout(&self) -> ObjectLayout {
+        match self {
+            LiveApp::BarnesHut(a) => a.layout(),
+            LiveApp::Fmm(a) => a.layout(),
+            LiveApp::WaterSpatial(a) => a.layout(),
+            LiveApp::Moldyn(a) => a.layout(),
+            LiveApp::Unstructured(a) => a.layout(),
         }
-        AppKind::WaterSpatial => {
-            let mut sim = WaterSpatial::lattice(n, seed, WaterSpatialParams::default());
-            let reorder_seconds = apply_ordering(ordering, |m| {
-                sim.reorder(m);
-            });
-            let layout = sim.layout();
-            let trace = sim.trace_steps(iters, num_procs);
-            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+    }
+
+    /// Number of objects actually built (the mesh generator only approximates its
+    /// target node count).
+    pub fn num_objects(&self) -> usize {
+        self.layout().num_objects
+    }
+
+    /// Apply a data reordering (the library call under study).
+    pub fn reorder(&mut self, method: Method) {
+        match self {
+            LiveApp::BarnesHut(a) => {
+                a.reorder(method);
+            }
+            LiveApp::Fmm(a) => {
+                a.reorder(method);
+            }
+            LiveApp::WaterSpatial(a) => {
+                a.reorder(method);
+            }
+            LiveApp::Moldyn(a) => {
+                a.reorder(method);
+            }
+            LiveApp::Unstructured(a) => {
+                a.reorder(method);
+            }
         }
-        AppKind::Moldyn => {
-            let mut sim = Moldyn::lattice(n, seed, MoldynParams::default());
-            let reorder_seconds = apply_ordering(ordering, |m| {
-                sim.reorder(m);
-            });
-            let layout = sim.layout();
-            let trace = sim.trace_steps(iters, num_procs);
-            AppRun { app, ordering, num_objects: n, layout, trace, reorder_seconds }
+    }
+
+    /// The serial producer: the per-app `step_traced`/`sweep_traced` executable specs,
+    /// looped exactly as the pre-shard `stream_*` entry points did.
+    pub fn stream_serial<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        let procs = sink.num_procs();
+        for _ in 0..iterations {
+            match self {
+                LiveApp::BarnesHut(a) => a.step_traced(procs, sink),
+                LiveApp::Fmm(a) => a.step_traced(procs, sink),
+                LiveApp::WaterSpatial(a) => a.step_traced(procs, sink),
+                LiveApp::Moldyn(a) => a.step_traced(procs, sink),
+                LiveApp::Unstructured(a) => a.sweep_traced(procs, sink),
+            }
         }
-        AppKind::Unstructured => {
-            let mut sim = Unstructured::generated(n, seed, UnstructuredParams::default());
-            let reorder_seconds = apply_ordering(ordering, |m| {
-                sim.reorder(m);
-            });
-            let num_objects = sim.num_nodes();
-            let layout = sim.layout();
-            let trace = sim.trace_sweeps(iters, num_procs);
-            AppRun { app, ordering, num_objects, layout, trace, reorder_seconds }
+    }
+
+    /// The sharded producer: the apps' `stream_*` entry points (rayon tasks into
+    /// per-processor shards, deterministic drain).
+    pub fn stream_sharded<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        match self {
+            LiveApp::BarnesHut(a) => a.stream_iterations(iterations, sink),
+            LiveApp::Fmm(a) => a.stream_iterations(iterations, sink),
+            LiveApp::WaterSpatial(a) => a.stream_steps(iterations, sink),
+            LiveApp::Moldyn(a) => a.stream_steps(iterations, sink),
+            LiveApp::Unstructured(a) => a.stream_sweeps(iterations, sink),
         }
     }
 }

@@ -1,0 +1,175 @@
+//! Equivalence suite for the sharded parallel trace producers: for *any* problem
+//! size, processor count and iteration count, each application's `stream_*` path
+//! (rayon tasks filling per-processor [`smtrace::Shard`]s, drained deterministically)
+//! must be indistinguishable from looping its serial `step_traced`/`sweep_traced`
+//! executable spec — bit-identical [`ProgramTrace`]s, bit-identical hardware-simulator
+//! counters, bit-identical [`dsm::DsmRunResult`]s, and bit-identical final application
+//! state (so multi-iteration runs cannot drift apart through the physics).
+//!
+//! Each driven run feeds one tee of three consumers at once — a materializing
+//! [`TraceBuilder`], a streaming [`SimSink`] and a streaming [`PageHistorySink`] — so
+//! the comparison covers the raw event stream and both downstream reductions.
+
+use proptest::prelude::*;
+
+use dsm::{DsmConfig, PageHistorySink, PageWriteHistory, TreadMarksSim};
+use memsim::{OriginPreset, SimSink, SimulationResult};
+use molecular::{Moldyn, MoldynParams, WaterSpatial, WaterSpatialParams};
+use nbody::{BarnesHut, BarnesHutParams, Fmm, FmmParams};
+use smtrace::{ObjectLayout, ProgramTrace, TeeSink, TraceBuilder};
+use unstructured::{Unstructured, UnstructuredParams};
+
+/// DSM page granularity used by the history reduction (sub-page, so straddling
+/// object sizes like Water's 680 B are exercised).
+const PAGE_BYTES: usize = 1024;
+
+/// Drive one traced run into all three consumers and collect their reductions.
+fn run_instrumented<F>(
+    layout: &ObjectLayout,
+    procs: usize,
+    drive: F,
+) -> (ProgramTrace, SimulationResult, PageWriteHistory)
+where
+    F: for<'a, 'b> FnOnce(&mut TeeSink<'a, TraceBuilder, TeeSink<'b, SimSink, PageHistorySink>>),
+{
+    let mut builder = TraceBuilder::new(layout.clone(), procs);
+    let mut sim = SimSink::new(OriginPreset::origin2000(procs).build_machine(), layout.clone());
+    let mut hist = PageHistorySink::new(layout.clone(), procs, PAGE_BYTES);
+    {
+        let mut inner = TeeSink::new(&mut sim, &mut hist);
+        let mut sink = TeeSink::new(&mut builder, &mut inner);
+        drive(&mut sink);
+    }
+    (builder.finish(), sim.finish(), hist.finish())
+}
+
+/// Assert every reduction of the two runs is identical, including the DSM protocol
+/// results computed from the two histories.
+fn assert_reductions_match(
+    serial: (ProgramTrace, SimulationResult, PageWriteHistory),
+    sharded: (ProgramTrace, SimulationResult, PageWriteHistory),
+    procs: usize,
+) {
+    assert_eq!(serial.0, sharded.0, "traces diverged");
+    assert_eq!(serial.1, sharded.1, "simulator counters diverged");
+    assert_eq!(serial.2, sharded.2, "page histories diverged");
+    let config = DsmConfig::new(PAGE_BYTES, procs);
+    let tmk_serial = TreadMarksSim::new(config).run_history(&serial.2);
+    let tmk_sharded = TreadMarksSim::new(config).run_history(&sharded.2);
+    assert_eq!(tmk_serial, tmk_sharded, "DsmRunResults diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn barnes_hut_sharded_equals_serial(
+        args in (16usize..120, 1usize..6, 1usize..3, 0u64..1000)
+    ) {
+        let (n, procs, iters, seed) = args;
+        let params = BarnesHutParams { theta: 0.6, dt: 0.01, eps: 0.05, leaf_capacity: 4 };
+        let mut serial = BarnesHut::two_plummer(n, seed, params);
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| {
+            for _ in 0..iters {
+                serial.step_traced(procs, sink);
+            }
+        });
+        let b = run_instrumented(&layout, procs, |sink| sharded.stream_iterations(iters, sink));
+        assert_reductions_match(a, b, procs);
+        for (x, y) in serial.bodies.iter().zip(&sharded.bodies) {
+            prop_assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+            prop_assert_eq!(x.cost, y.cost);
+        }
+    }
+
+    #[test]
+    fn fmm_sharded_equals_serial(
+        args in (16usize..100, 1usize..5, 1usize..3, 0u64..1000)
+    ) {
+        let (n, procs, iters, seed) = args;
+        let params = FmmParams { order: 4, target_per_leaf: 8, dt: 0.01, eps: 0.05 };
+        let mut serial = Fmm::two_plummer(n, seed, params);
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| {
+            for _ in 0..iters {
+                serial.step_traced(procs, sink);
+            }
+        });
+        let b = run_instrumented(&layout, procs, |sink| sharded.stream_iterations(iters, sink));
+        assert_reductions_match(a, b, procs);
+        for (x, y) in serial.bodies.iter().zip(&sharded.bodies) {
+            prop_assert_eq!(x.pos.x.to_bits(), y.pos.x.to_bits());
+            prop_assert_eq!(x.phi.to_bits(), y.phi.to_bits());
+        }
+    }
+
+    #[test]
+    fn water_sharded_equals_serial(
+        args in (16usize..120, 1usize..6, 1usize..3, 0u64..1000)
+    ) {
+        let (n, procs, iters, seed) = args;
+        let params = WaterSpatialParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4 };
+        let mut serial = WaterSpatial::lattice(n, seed, params);
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| {
+            for _ in 0..iters {
+                serial.step_traced(procs, sink);
+            }
+        });
+        let b = run_instrumented(&layout, procs, |sink| sharded.stream_steps(iters, sink));
+        assert_reductions_match(a, b, procs);
+        for (x, y) in serial.molecules.iter().zip(&sharded.molecules) {
+            prop_assert_eq!(x.atom_pos[0][0].to_bits(), y.atom_pos[0][0].to_bits());
+        }
+    }
+
+    #[test]
+    fn moldyn_sharded_equals_serial(
+        args in (16usize..150, 1usize..6, 1usize..4, 0u64..1000)
+    ) {
+        let (n, procs, iters, seed) = args;
+        // rebuild_interval 2 so multi-step cases cross an interaction-list rebuild.
+        let params = MoldynParams { box_side: 8.0, cutoff: 2.0, dt: 1e-4, rebuild_interval: 2 };
+        let mut serial = Moldyn::lattice(n, seed, params);
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| {
+            for _ in 0..iters {
+                serial.step_traced(procs, sink);
+            }
+        });
+        let b = run_instrumented(&layout, procs, |sink| sharded.stream_steps(iters, sink));
+        assert_reductions_match(a, b, procs);
+        prop_assert_eq!(&serial.pairs, &sharded.pairs);
+        for (x, y) in serial.molecules.iter().zip(&sharded.molecules) {
+            for k in 0..3 {
+                prop_assert_eq!(x.pos[k].to_bits(), y.pos[k].to_bits());
+                prop_assert_eq!(x.force[k].to_bits(), y.force[k].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn unstructured_sharded_equals_serial(
+        args in (32usize..300, 1usize..8, 1usize..3, 0u64..1000)
+    ) {
+        let (n, procs, iters, seed) = args;
+        let mut serial = Unstructured::generated(n, seed, UnstructuredParams::default());
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| {
+            for _ in 0..iters {
+                serial.sweep_traced(procs, sink);
+            }
+        });
+        let b = run_instrumented(&layout, procs, |sink| sharded.stream_sweeps(iters, sink));
+        assert_reductions_match(a, b, procs);
+        for (x, y) in serial.nodes.iter().zip(&sharded.nodes) {
+            prop_assert_eq!(x.value.to_bits(), y.value.to_bits());
+        }
+    }
+}

@@ -6,7 +6,8 @@
 //! xp table <1|2|3|4>                  one table of the paper
 //! xp fig <1..9>                       one figure (paired figures share a spec)
 //! xp ablation <reorder-frequency|unit-sweep>
-//! xp bench <reorder-cost|sim-throughput|dsm-throughput>   performance benches
+//! xp bench <reorder-cost|sim-throughput|dsm-throughput|gen-throughput>
+//!                                     performance benches
 //! xp run <id>                         any experiment by id or alias
 //! xp sweep                            every experiment (writes one artifact each)
 //! xp list                             what exists, with ids and aliases
@@ -31,7 +32,7 @@ USAGE:
     xp table <1|2|3|4>        [options]
     xp fig <1|2|...|9>        [options]
     xp ablation <name>        [options]   (reorder-frequency | unit-sweep)
-    xp bench <name>           [options]   (reorder-cost | sim-throughput | dsm-throughput)
+    xp bench <name>           [options]   (reorder-cost | sim-throughput | dsm-throughput | gen-throughput)
     xp run <id-or-alias>      [options]
     xp sweep                  [options]   run every experiment
     xp list                               list experiments

@@ -97,6 +97,14 @@ impl CellGrid {
     /// approximately equal molecule counts.  Returns `owner[c]` per cell.  This is the
     /// physically contiguous domain decomposition Water-Spatial uses.
     pub fn partition_slabs(&self, num_procs: usize) -> Vec<usize> {
+        let mut owner = Vec::new();
+        self.partition_slabs_into(num_procs, &mut owner);
+        owner
+    }
+
+    /// [`CellGrid::partition_slabs`] into a caller-provided buffer (cleared first), so
+    /// per-step partitions reuse one allocation.
+    pub fn partition_slabs_into(&self, num_procs: usize, owner: &mut Vec<usize>) {
         assert!(num_procs > 0);
         let s = self.cells_per_side;
         // Molecules per x-plane.
@@ -116,7 +124,8 @@ impl CellGrid {
             plane_owner[x] = proc.min(num_procs - 1);
             acc += plane_weight[x] as f64;
         }
-        (0..self.num_cells()).map(|c| plane_owner[self.cell_coords(c).0]).collect()
+        owner.clear();
+        owner.extend((0..self.num_cells()).map(|c| plane_owner[self.cell_coords(c).0]));
     }
 }
 

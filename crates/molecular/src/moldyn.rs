@@ -15,9 +15,17 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
+use smtrace::{ObjectLayout, ProgramTrace, ShardSet, TraceBuilder, TraceSink};
 
 use crate::cellgrid::CellGrid;
+
+/// Reusable buffers for the sharded traced path: per-virtual-processor pair ranges and
+/// per-pair force buffers.  Held across steps by [`Moldyn::stream_steps`].
+#[derive(Debug, Default)]
+struct ShardScratch {
+    ranges: Vec<std::ops::Range<usize>>,
+    forces: Vec<Vec<[f64; 3]>>,
+}
 
 /// Object size (bytes) of a Moldyn molecule record, from Table 1 of the paper.
 pub const MOLECULE_BYTES: usize = 72;
@@ -310,6 +318,88 @@ impl Moldyn {
         self.maybe_rebuild();
     }
 
+    /// One sharded traced time step: the same computation and per-processor access
+    /// streams as [`Moldyn::step_traced`] (the executable spec this path is pinned
+    /// to), but each virtual processor sweeps its own contiguous range of the sorted
+    /// pair list as a rayon task into its own [`smtrace::Shard`].  The pair forces are
+    /// computed inside the tasks and *applied* serially in global pair order, so the
+    /// floating-point accumulation order — and therefore every subsequent rebuild of
+    /// the interaction list — is bit-identical to the serial sweep.
+    fn step_traced_sharded<S: TraceSink>(
+        &mut self,
+        shards: &mut ShardSet,
+        scratch: &mut ShardScratch,
+        sink: &mut S,
+    ) {
+        let num_procs = shards.num_procs();
+        assert_eq!(sink.num_procs(), num_procs, "sink must match the processor count");
+        self.clear_forces();
+        let n = self.molecules.len();
+        // Owner of pair (i, j) is the owner of i, which is monotone in i; the pair
+        // list is sorted, so each processor's pairs form one contiguous range.
+        scratch.ranges.clear();
+        let mut start = 0usize;
+        for p in 0..num_procs {
+            let end = self.pairs.partition_point(|&(i, _)| (i as usize) * num_procs / n <= p);
+            scratch.ranges.push(start..end);
+            start = end;
+        }
+        scratch.forces.resize_with(num_procs, Vec::new);
+        // Interval 1: force computation over the interaction list.
+        {
+            let this = &*self;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(scratch.ranges.iter().cloned())
+                .zip(scratch.forces.iter_mut())
+                .map(|((shard, range), forces)| (shard, range, forces))
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, range, forces)| {
+                forces.clear();
+                for &(i, j) in &this.pairs[range] {
+                    shard.read(i as usize);
+                    shard.read(j as usize);
+                    forces.push(this.pair_force(
+                        this.molecules[i as usize].pos,
+                        this.molecules[j as usize].pos,
+                    ));
+                    shard.write(i as usize);
+                    shard.write(j as usize);
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Apply the precomputed pair forces in global pair order (the ranges tile the
+        // sorted list), reproducing the serial sweep's accumulation order exactly.
+        for (range, forces) in scratch.ranges.iter().zip(&scratch.forces) {
+            for (&(i, j), f) in self.pairs[range.clone()].iter().zip(forces) {
+                for k in 0..3 {
+                    self.molecules[i as usize].force[k] += f[k];
+                    self.molecules[j as usize].force[k] -= f[k];
+                }
+            }
+        }
+        // Interval 2: integration of each processor's own block.
+        {
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(p, shard)| (shard, p * n / num_procs..(p + 1) * n / num_procs))
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, range)| {
+                for i in range {
+                    shard.read(i);
+                    shard.write(i);
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        self.integrate(0..n);
+        self.maybe_rebuild();
+    }
+
     /// Run `steps` traced time steps on `num_procs` virtual processors, materializing
     /// the trace (kept for the DSM interval analyses that re-read it under several
     /// layouts).
@@ -320,10 +410,15 @@ impl Moldyn {
     }
 
     /// Run `steps` traced time steps, streaming the accesses into `sink` without
-    /// materializing a trace.
+    /// materializing a trace.  Generation is sharded: each virtual processor sweeps
+    /// its pair range as a rayon task into a per-processor buffer, drained into `sink`
+    /// in deterministic processor order — every downstream counter is bit-identical to
+    /// looping [`Moldyn::step_traced`] over the same sink.
     pub fn stream_steps<S: TraceSink>(&mut self, steps: usize, sink: &mut S) {
+        let mut shards = ShardSet::new(sink.num_procs());
+        let mut scratch = ShardScratch::default();
         for _ in 0..steps {
-            self.step_traced(sink.num_procs(), sink);
+            self.step_traced_sharded(&mut shards, &mut scratch, sink);
         }
     }
 
@@ -503,6 +598,32 @@ mod tests {
         }
         for p in 0..8 {
             assert_eq!(owners.iter().filter(|&&o| o == p).count(), 20);
+        }
+    }
+
+    /// The sharded parallel traced path must produce the bit-identical trace — and the
+    /// bit-identical molecule state — as looping the serial `step_traced` spec, across
+    /// enough steps to cross an interaction-list rebuild.
+    #[test]
+    fn sharded_stream_matches_the_serial_traced_spec() {
+        let mut serial = small(300, 21);
+        let mut sharded = serial.clone();
+        let steps = 6; // rebuild_interval is 5, so the rebuild path is crossed too
+        let procs = 4;
+        let mut serial_builder = TraceBuilder::new(serial.layout(), procs);
+        for _ in 0..steps {
+            serial.step_traced(procs, &mut serial_builder);
+        }
+        let serial_trace = serial_builder.finish();
+        let sharded_trace = sharded.trace_steps(steps, procs);
+        assert_eq!(serial_trace, sharded_trace);
+        assert_eq!(serial.pairs, sharded.pairs);
+        for (a, b) in serial.molecules.iter().zip(&sharded.molecules) {
+            for k in 0..3 {
+                assert_eq!(a.pos[k].to_bits(), b.pos[k].to_bits());
+                assert_eq!(a.vel[k].to_bits(), b.vel[k].to_bits());
+                assert_eq!(a.force[k].to_bits(), b.force[k].to_bits());
+            }
         }
     }
 

@@ -16,9 +16,24 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
+use smtrace::{ObjectLayout, ProgramTrace, ShardSet, TraceBuilder, TraceSink};
 
 use crate::cellgrid::CellGrid;
+
+/// One molecule's computed step result: `(force, potential)`.
+type MoleculeForce = ([f64; 3], f64);
+
+/// Reusable buffers for the sharded traced path: the slab owners, each processor's
+/// cell list, per-processor read logs and `(molecule, force)` outputs, and the scatter
+/// target the integrator consumes.  Held across steps by [`WaterSpatial::stream_steps`].
+#[derive(Debug, Default)]
+struct ShardScratch {
+    owners: Vec<usize>,
+    cells: Vec<Vec<u32>>,
+    reads: Vec<Vec<u32>>,
+    outputs: Vec<Vec<(u32, MoleculeForce)>>,
+    forces: Vec<MoleculeForce>,
+}
 
 /// Object size (bytes) of a Water-Spatial molecule record, from Table 1 of the paper.
 pub const WATER_MOLECULE_BYTES: usize = 680;
@@ -262,6 +277,88 @@ impl WaterSpatial {
         self.integrate_all(&forces);
     }
 
+    /// One sharded traced time step: the same computation and per-processor access
+    /// streams as [`WaterSpatial::step_traced`] (the executable spec this path is
+    /// pinned to), but each virtual processor scans its own slab of cells — force
+    /// evaluation over the 27-cell neighbourhoods plus access recording — as a rayon
+    /// task into its own [`smtrace::Shard`].  Each molecule's force is computed by
+    /// exactly one task, so the scattered force array is bit-identical to the serial
+    /// cell sweep's.
+    fn step_traced_sharded<S: TraceSink>(
+        &mut self,
+        shards: &mut ShardSet,
+        scratch: &mut ShardScratch,
+        sink: &mut S,
+    ) {
+        let num_procs = shards.num_procs();
+        assert_eq!(sink.num_procs(), num_procs, "sink must match the processor count");
+        self.grid.partition_slabs_into(num_procs, &mut scratch.owners);
+        // Each processor's cells, in ascending cell order — the serial sweep visits
+        // cells in that order, so per-processor streams match the serial subsequences.
+        scratch.cells.resize_with(num_procs, Vec::new);
+        for cells in scratch.cells.iter_mut() {
+            cells.clear();
+        }
+        for c in 0..self.grid.num_cells() {
+            scratch.cells[scratch.owners[c]].push(c as u32);
+        }
+        scratch.reads.resize_with(num_procs, Vec::new);
+        scratch.outputs.resize_with(num_procs, Vec::new);
+        // Interval 1: force computation, slab by slab.
+        {
+            let this = &*self;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(scratch.cells.iter())
+                .zip(scratch.reads.iter_mut())
+                .zip(scratch.outputs.iter_mut())
+                .map(|(((shard, cells), reads), outputs)| (shard, cells, reads, outputs))
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, cells, reads, outputs)| {
+                outputs.clear();
+                for &c in cells {
+                    for &m in &this.grid.members[c as usize] {
+                        reads.clear();
+                        let r = this.force_on_molecule(m as usize, Some(reads));
+                        shard.read(m as usize);
+                        for &other in reads.iter() {
+                            shard.read(other as usize);
+                        }
+                        shard.write(m as usize);
+                        outputs.push((m, r));
+                    }
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Interval 2: integration — the owner of each molecule's cell writes it.
+        {
+            let this = &*self;
+            let tasks: Vec<_> = shards.shards_mut().iter_mut().zip(scratch.cells.iter()).collect();
+            tasks.into_par_iter().for_each(|(shard, cells)| {
+                for &c in cells {
+                    for &m in &this.grid.members[c as usize] {
+                        shard.write(m as usize);
+                    }
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Scatter the per-processor forces (the cells partition the molecules, so
+        // every molecule is written exactly once) and integrate.
+        scratch.forces.clear();
+        scratch.forces.resize(self.molecules.len(), ([0.0; 3], 0.0));
+        for outputs in &scratch.outputs {
+            for &(m, r) in outputs {
+                scratch.forces[m as usize] = r;
+            }
+        }
+        let forces = std::mem::take(&mut scratch.forces);
+        self.integrate_all(&forces);
+        scratch.forces = forces;
+    }
+
     /// Run `steps` traced time steps on `num_procs` virtual processors, materializing
     /// the trace.
     pub fn trace_steps(&mut self, steps: usize, num_procs: usize) -> ProgramTrace {
@@ -271,10 +368,15 @@ impl WaterSpatial {
     }
 
     /// Run `steps` traced time steps, streaming the accesses into `sink` without
-    /// materializing a trace.
+    /// materializing a trace.  Generation is sharded: each virtual processor scans its
+    /// slab as a rayon task into a per-processor buffer, drained into `sink` in
+    /// deterministic processor order — every downstream counter is bit-identical to
+    /// looping [`WaterSpatial::step_traced`] over the same sink.
     pub fn stream_steps<S: TraceSink>(&mut self, steps: usize, sink: &mut S) {
+        let mut shards = ShardSet::new(sink.num_procs());
+        let mut scratch = ShardScratch::default();
         for _ in 0..steps {
-            self.step_traced(sink.num_procs(), sink);
+            self.step_traced_sharded(&mut shards, &mut scratch, sink);
         }
     }
 
@@ -410,6 +512,35 @@ mod tests {
             seen[owners[c]] = true;
         }
         assert!(seen.iter().all(|&s| s), "every processor must own at least one cell");
+    }
+
+    /// The sharded parallel traced path must produce the bit-identical trace — and the
+    /// bit-identical molecule state — as looping the serial `step_traced` spec (the
+    /// grid is rebuilt from the integrated positions each step, so any drift would
+    /// compound into different cell assignments).
+    #[test]
+    fn sharded_stream_matches_the_serial_traced_spec() {
+        let mut serial = small(250, 23);
+        let mut sharded = serial.clone();
+        let steps = 3;
+        let procs = 4;
+        let mut serial_builder = TraceBuilder::new(serial.layout(), procs);
+        for _ in 0..steps {
+            serial.step_traced(procs, &mut serial_builder);
+        }
+        let serial_trace = serial_builder.finish();
+        let sharded_trace = sharded.trace_steps(steps, procs);
+        assert_eq!(serial_trace, sharded_trace);
+        assert_eq!(serial.grid.cell_of, sharded.grid.cell_of);
+        for (a, b) in serial.molecules.iter().zip(&sharded.molecules) {
+            for atom in 0..3 {
+                for k in 0..3 {
+                    assert_eq!(a.atom_pos[atom][k].to_bits(), b.atom_pos[atom][k].to_bits());
+                    assert_eq!(a.atom_vel[atom][k].to_bits(), b.atom_vel[atom][k].to_bits());
+                }
+            }
+            assert_eq!(a.potential.to_bits(), b.potential.to_bits());
+        }
     }
 
     /// `stream_steps` feeds the DSM page-history sink directly; with 680-byte

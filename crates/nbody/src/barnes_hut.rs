@@ -18,7 +18,7 @@
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
+use smtrace::{ObjectLayout, ProgramTrace, ShardSet, TraceBuilder, TraceSink};
 
 use crate::body::{Body, BODY_BYTES_FIG};
 use crate::octree::{NodeId, Octree};
@@ -51,6 +51,27 @@ struct ForceResult {
     acc: Vec3,
     phi: f64,
     cost: u32,
+}
+
+/// Reusable buffers for the sharded traced path: the costzones partition, the in-order
+/// traversal scratch, and per-virtual-processor read logs, traversal stacks and force
+/// results.  Held across iterations by [`BarnesHut::stream_iterations`] so steady-state
+/// trace generation performs no per-iteration allocations.
+#[derive(Debug, Default)]
+struct ShardScratch {
+    order: Vec<u32>,
+    parts: Vec<Vec<u32>>,
+    results: Vec<Vec<ForceResult>>,
+    reads: Vec<Vec<u32>>,
+    stacks: Vec<Vec<NodeId>>,
+}
+
+impl ShardScratch {
+    fn resize(&mut self, num_procs: usize) {
+        self.results.resize_with(num_procs, Vec::new);
+        self.reads.resize_with(num_procs, Vec::new);
+        self.stacks.resize_with(num_procs, Vec::new);
+    }
 }
 
 /// The Barnes-Hut application state.
@@ -106,33 +127,58 @@ impl BarnesHut {
     /// chunks of approximately equal total cost.  Returns one body-index list per
     /// processor.
     pub fn partition(&self, tree: &Octree, num_procs: usize) -> Vec<Vec<u32>> {
+        let mut order = Vec::new();
+        let mut parts = Vec::new();
+        self.partition_into(tree, num_procs, &mut order, &mut parts);
+        parts
+    }
+
+    /// [`BarnesHut::partition`] into caller-provided buffers (`order` is traversal
+    /// scratch), so per-iteration partitions reuse their allocations.
+    fn partition_into(
+        &self,
+        tree: &Octree,
+        num_procs: usize,
+        order: &mut Vec<u32>,
+        parts: &mut Vec<Vec<u32>>,
+    ) {
         assert!(num_procs > 0);
-        let order = tree.inorder_bodies();
+        tree.inorder_bodies_into(order);
         let total_cost: u64 =
             order.iter().map(|&b| u64::from(self.bodies[b as usize].cost.max(1))).sum();
         let target = (total_cost as f64 / num_procs as f64).max(1.0);
-        let mut parts = vec![Vec::new(); num_procs];
+        parts.resize_with(num_procs, Vec::new);
+        for part in parts.iter_mut() {
+            part.clear();
+        }
         let mut acc = 0.0;
         let mut proc = 0usize;
-        for &b in &order {
+        for &b in order.iter() {
             if acc >= target * (proc + 1) as f64 && proc + 1 < num_procs {
                 proc += 1;
             }
             parts[proc].push(b);
             acc += f64::from(self.bodies[b as usize].cost.max(1));
         }
-        parts
     }
 
     /// Compute the gravitational acceleration, potential, and interaction count for
     /// body `i` by partial traversal of `tree`.  If `reads` is provided, the indices of
     /// every *body* read during the traversal (direct interactions within opened
     /// leaves) are appended to it.
-    fn force_on_body(
+    fn force_on_body(&self, tree: &Octree, i: u32, reads: Option<&mut Vec<u32>>) -> ForceResult {
+        let mut stack = Vec::new();
+        self.force_on_body_scratch(tree, i, reads, &mut stack)
+    }
+
+    /// [`BarnesHut::force_on_body`] with a caller-provided traversal stack, so hot
+    /// loops evaluate many bodies without a heap allocation per body.
+    fn force_on_body_scratch(
         &self,
         tree: &Octree,
         i: u32,
         mut reads: Option<&mut Vec<u32>>,
+        stack: &mut Vec<NodeId>,
     ) -> ForceResult {
         let theta = self.params.theta;
         let eps2 = self.params.eps * self.params.eps;
@@ -141,7 +187,8 @@ impl BarnesHut {
         let mut phi = 0.0;
         let mut cost = 0u32;
         // Explicit stack to avoid recursion overhead in the hot loop.
-        let mut stack: Vec<NodeId> = vec![tree.root()];
+        stack.clear();
+        stack.push(tree.root());
         while let Some(id) = stack.pop() {
             let node = tree.node(id);
             if node.mass == 0.0 {
@@ -154,7 +201,7 @@ impl BarnesHut {
             if node.is_leaf || !open {
                 if node.is_leaf && open {
                     // Direct interactions with the bodies of the leaf.
-                    for &j in &node.bodies {
+                    for &j in tree.leaf_bodies(id) {
                         if j == i {
                             continue;
                         }
@@ -274,6 +321,79 @@ impl BarnesHut {
         builder.barrier();
     }
 
+    /// One sharded traced iteration: the same computation and per-processor access
+    /// streams as [`BarnesHut::step_traced`] (the executable spec this path is pinned
+    /// to), but each virtual processor's chunk — tree traversal, force evaluation and
+    /// access recording — runs as a rayon task into its own [`smtrace::Shard`], with
+    /// all scratch buffers reused across iterations.
+    fn step_traced_sharded<S: TraceSink>(
+        &mut self,
+        shards: &mut ShardSet,
+        scratch: &mut ShardScratch,
+        sink: &mut S,
+    ) {
+        let num_procs = shards.num_procs();
+        assert_eq!(sink.num_procs(), num_procs, "sink must match the processor count");
+        // Interval 1: sequential tree build — processor 0 reads every body (pure
+        // emission; there is no concurrent work to shard).
+        let tree = self.build_tree();
+        for i in 0..self.bodies.len() {
+            sink.read(0, i);
+        }
+        sink.barrier();
+
+        // Interval 2: force evaluation — one task per virtual processor, each filling
+        // its own shard in the exact order the serial loop emits.
+        self.partition_into(&tree, num_procs, &mut scratch.order, &mut scratch.parts);
+        scratch.resize(num_procs);
+        {
+            let this = &*self;
+            let tree = &tree;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(scratch.parts.iter())
+                .zip(scratch.results.iter_mut())
+                .zip(scratch.reads.iter_mut())
+                .zip(scratch.stacks.iter_mut())
+                .map(|((((shard, chunk), results), reads), stack)| {
+                    (shard, chunk, results, reads, stack)
+                })
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, chunk, results, reads, stack)| {
+                results.clear();
+                for &i in chunk {
+                    reads.clear();
+                    let r = this.force_on_body_scratch(tree, i, Some(reads), stack);
+                    shard.read(i as usize);
+                    for &j in reads.iter() {
+                        shard.read(j as usize);
+                    }
+                    shard.write(i as usize);
+                    results.push(r);
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        for results in &scratch.results {
+            self.apply_forces(results);
+        }
+
+        // Interval 3: update — each processor writes (and advances) its own bodies.
+        {
+            let tasks: Vec<_> = shards.shards_mut().iter_mut().zip(scratch.parts.iter()).collect();
+            tasks.into_par_iter().for_each(|(shard, chunk)| {
+                for &i in chunk {
+                    shard.write(i as usize);
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        for chunk in &scratch.parts {
+            self.integrate_bodies(chunk);
+        }
+    }
+
     /// Run `iterations` traced iterations on `num_procs` virtual processors and return
     /// the finished (materialized) trace.
     pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
@@ -283,10 +403,15 @@ impl BarnesHut {
     }
 
     /// Run `iterations` traced iterations, streaming the accesses into `sink` without
-    /// materializing a trace.
+    /// materializing a trace.  Generation is sharded: each virtual processor's chunk
+    /// runs as a rayon task into a per-processor buffer, and the buffers are drained
+    /// into `sink` in deterministic processor order — every downstream counter is
+    /// bit-identical to looping [`BarnesHut::step_traced`] over the same sink.
     pub fn stream_iterations<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        let mut shards = ShardSet::new(sink.num_procs());
+        let mut scratch = ShardScratch::default();
         for _ in 0..iterations {
-            self.step_traced(sink.num_procs(), sink);
+            self.step_traced_sharded(&mut shards, &mut scratch, sink);
         }
     }
 
@@ -447,6 +572,29 @@ mod tests {
         let mut sim = small_sim(300, 9, 0.6);
         sim.step_sequential();
         assert!(sim.bodies.iter().any(|b| b.cost > 1));
+    }
+
+    /// The sharded parallel traced path must produce the bit-identical trace — and the
+    /// bit-identical body state — as looping the serial `step_traced` spec.
+    #[test]
+    fn sharded_stream_matches_the_serial_traced_spec() {
+        let mut serial = small_sim(400, 21, 0.5);
+        let mut sharded = serial.clone();
+        let iterations = 3;
+        let procs = 4;
+        let mut serial_builder = TraceBuilder::new(serial.layout(), procs);
+        for _ in 0..iterations {
+            serial.step_traced(procs, &mut serial_builder);
+        }
+        let serial_trace = serial_builder.finish();
+        let sharded_trace = sharded.trace_iterations(iterations, procs);
+        assert_eq!(serial_trace, sharded_trace);
+        for (a, b) in serial.bodies.iter().zip(&sharded.bodies) {
+            assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+            assert_eq!(a.vel.x.to_bits(), b.vel.x.to_bits());
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+            assert_eq!(a.cost, b.cost);
+        }
     }
 
     /// `stream_iterations` feeds the DSM page-history sink directly: the streamed

@@ -26,7 +26,7 @@ use std::time::Instant;
 
 use rayon::prelude::*;
 use reorder::{reorder_by_method, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
+use smtrace::{ObjectLayout, ProgramTrace, ShardSet, TraceBuilder, TraceSink};
 
 use crate::body::{Body, BODY_BYTES_FIG};
 use crate::vec3::Vec3;
@@ -108,12 +108,33 @@ pub struct Fmm {
 }
 
 /// Per-leaf ownership and the per-processor leaf lists produced by the partitioner.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 struct FmmPartition {
     /// `leaves[p]` — leaf cells owned by processor `p`, in row-major cell order.
     leaves: Vec<Vec<CellId>>,
     /// `owner[c]` — processor owning leaf `c`.
     owner: Vec<usize>,
+}
+
+/// Reusable buffers for the sharded traced path: the leaf partition plus, per virtual
+/// processor, the leaf-local evaluation buffers, read logs, and `(body, acc, phi)`
+/// results; `all_results` is the scatter target the integrator consumes.  Held across
+/// iterations by [`Fmm::stream_iterations`].
+#[derive(Debug, Default)]
+struct ShardScratch {
+    partition: FmmPartition,
+    leaf_out: Vec<Vec<(Vec3, f64)>>,
+    leaf_reads: Vec<Vec<Vec<u32>>>,
+    results: Vec<Vec<(u32, Vec3, f64)>>,
+    all_results: Vec<(Vec3, f64)>,
+}
+
+impl ShardScratch {
+    fn resize(&mut self, num_procs: usize) {
+        self.leaf_out.resize_with(num_procs, Vec::new);
+        self.leaf_reads.resize_with(num_procs, Vec::new);
+        self.results.resize_with(num_procs, Vec::new);
+    }
 }
 
 impl Fmm {
@@ -166,47 +187,43 @@ impl Fmm {
     /// code uses costzones over the adaptive tree; on a uniform tree row-major chunks of
     /// equal weight are the analogous physically-contiguous assignment).
     fn partition(&self, tree: &QuadTree, num_procs: usize) -> FmmPartition {
+        let mut out = FmmPartition::default();
+        self.partition_into(tree, num_procs, &mut out);
+        out
+    }
+
+    /// [`Fmm::partition`] into a caller-provided buffer, so per-iteration partitions
+    /// reuse their allocations.
+    fn partition_into(&self, tree: &QuadTree, num_procs: usize, out: &mut FmmPartition) {
         let num_leaves = tree.leaf_bodies.len();
         let total: usize = tree.leaf_bodies.iter().map(Vec::len).sum();
         let target = (total as f64 / num_procs as f64).max(1.0);
-        let mut leaves = vec![Vec::new(); num_procs];
-        let mut owner = vec![0usize; num_leaves];
+        out.leaves.resize_with(num_procs, Vec::new);
+        for leaves in out.leaves.iter_mut() {
+            leaves.clear();
+        }
+        out.owner.clear();
+        out.owner.resize(num_leaves, 0);
         let mut acc = 0.0;
         let mut proc = 0usize;
         for c in 0..num_leaves {
             if acc >= target * (proc + 1) as f64 && proc + 1 < num_procs {
                 proc += 1;
             }
-            leaves[proc].push(c as CellId);
-            owner[c] = proc;
+            out.leaves[proc].push(c as CellId);
+            out.owner[c] = proc;
             acc += tree.leaf_bodies[c].len() as f64;
         }
-        FmmPartition { leaves, owner }
     }
 
-    /// Complete force computation for one iteration.  Returns per-body `(acc, phi)` and
-    /// optionally records, for every body, the indices of the *other* bodies read during
-    /// near-field interactions (`reads[i]`).
-    fn compute_forces(
-        &self,
-        tree: &QuadTree,
-        record_reads: bool,
-    ) -> (Vec<(Vec3, f64)>, Vec<Vec<u32>>, FmmPhaseBreakdown) {
-        let mut breakdown = FmmPhaseBreakdown::default();
+    /// The full expansion machinery of one iteration — P2M at the leaves, M2M up the
+    /// tree, M2L at every level, L2L down — returning each leaf cell's accumulated
+    /// local expansion.  Shared verbatim by [`Fmm::compute_forces`] (the serial spec)
+    /// and the sharded traced path, so their far-field arithmetic is identical.
+    fn leaf_locals(&self, tree: &QuadTree) -> Vec<Local> {
         let p = self.params.order;
         let leaf_level = tree.leaf_level();
         let num_leaves = tree.leaf_bodies.len();
-
-        // --- Build interaction lists (cells only; no particle access).
-        let t0 = Instant::now();
-        let interaction_lists: Vec<Vec<CellId>> =
-            (0..num_leaves).map(|c| QuadTree::interaction_list(leaf_level, c as CellId)).collect();
-        let neighbor_lists: Vec<Vec<CellId>> =
-            (0..num_leaves).map(|c| QuadTree::neighbors(leaf_level, c as CellId)).collect();
-        breakdown.build_list = t0.elapsed().as_secs_f64();
-
-        // --- Upward pass: P2M at the leaves, M2M up the tree.
-        let t0 = Instant::now();
         let mut multipoles: Vec<Vec<Multipole>> = (0..tree.levels)
             .map(|level| {
                 (0..QuadTree::cells_at(level))
@@ -229,7 +246,7 @@ impl Fmm {
             }
         }
 
-        // --- M2L at every level, then L2L downward.
+        // M2L at every level, then L2L downward.
         let mut locals: Vec<Vec<Local>> = (0..tree.levels)
             .map(|level| {
                 (0..QuadTree::cells_at(level))
@@ -254,72 +271,144 @@ impl Fmm {
                 }
             }
         }
-        breakdown.tree_traversal = t0.elapsed().as_secs_f64();
+        locals.swap_remove(leaf_level)
+    }
 
-        // --- Evaluation: L2P plus near-field P2P.
-        let t0 = Instant::now();
+    /// L2P plus intra-leaf P2P for one leaf: `out` receives one `(acc, phi)` per leaf
+    /// body (in leaf order) and, when `reads` is provided, `reads[idx]` logs the bodies
+    /// body `idx` read.  Shared by the serial and sharded evaluation paths.
+    fn eval_leaf_intra(
+        &self,
+        leaf_bodies: &[u32],
+        local: &Local,
+        out: &mut Vec<(Vec3, f64)>,
+        mut reads: Option<&mut [Vec<u32>]>,
+    ) {
         let eps2 = self.params.eps * self.params.eps;
+        out.clear();
+        for (idx, &bi) in leaf_bodies.iter().enumerate() {
+            let body = &self.bodies[bi as usize];
+            let z = Complex::new(body.pos.x, body.pos.y);
+            let (phi, dphi) = local.evaluate(z);
+            // Acceleration on a unit mass is -conj(phi'(z)).
+            let mut acc = Complex::new(-dphi.re, dphi.im);
+            let mut pot = phi.re;
+            for &bj in leaf_bodies {
+                if bi == bj {
+                    continue;
+                }
+                let other = &self.bodies[bj as usize];
+                if let Some(r) = reads.as_deref_mut() {
+                    r[idx].push(bj);
+                }
+                let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
+                let r2 = dz.norm_sq() + eps2;
+                acc += dz * (other.mass / r2);
+                pot += 0.5 * other.mass * r2.ln();
+            }
+            out.push((Vec3::new(acc.re, acc.im, 0.0), pot));
+        }
+    }
+
+    /// Inter-leaf P2P between a home leaf and one neighbouring leaf, accumulating into
+    /// the home leaf's `out` buffer.  Shared by the serial and sharded evaluation
+    /// paths.
+    fn eval_leaf_inter(
+        &self,
+        home_bodies: &[u32],
+        neighbor_bodies: &[u32],
+        out: &mut [(Vec3, f64)],
+        mut reads: Option<&mut [Vec<u32>]>,
+    ) {
+        let eps2 = self.params.eps * self.params.eps;
+        for (idx, &bi) in home_bodies.iter().enumerate() {
+            let body = &self.bodies[bi as usize];
+            let mut acc = Complex::ZERO;
+            let mut pot = 0.0;
+            for &bj in neighbor_bodies {
+                let other = &self.bodies[bj as usize];
+                if let Some(r) = reads.as_deref_mut() {
+                    r[idx].push(bj);
+                }
+                let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
+                let r2 = dz.norm_sq() + eps2;
+                acc += dz * (other.mass / r2);
+                pot += 0.5 * other.mass * r2.ln();
+            }
+            out[idx].0 += Vec3::new(acc.re, acc.im, 0.0);
+            out[idx].1 += pot;
+        }
+    }
+
+    /// Complete force computation for one iteration.  Returns per-body `(acc, phi)` and
+    /// optionally records, for every body, the indices of the *other* bodies read during
+    /// near-field interactions (`reads[i]`).
+    fn compute_forces(
+        &self,
+        tree: &QuadTree,
+        record_reads: bool,
+    ) -> (Vec<(Vec3, f64)>, Vec<Vec<u32>>, FmmPhaseBreakdown) {
+        let mut breakdown = FmmPhaseBreakdown::default();
+        let leaf_level = tree.leaf_level();
+        let num_leaves = tree.leaf_bodies.len();
+
+        // --- Build interaction lists (cells only; no particle access).
+        let t0 = Instant::now();
+        let interaction_lists: Vec<Vec<CellId>> =
+            (0..num_leaves).map(|c| QuadTree::interaction_list(leaf_level, c as CellId)).collect();
+        let neighbor_lists: Vec<Vec<CellId>> =
+            (0..num_leaves).map(|c| QuadTree::neighbors(leaf_level, c as CellId)).collect();
+        breakdown.build_list = t0.elapsed().as_secs_f64();
+
+        // --- Upward pass, M2L, downward pass (the M2L loop rebuilds its interaction
+        // lists on the fly; `interaction_lists` above exists for the build-list timing).
+        let t0 = Instant::now();
+        let locals = self.leaf_locals(tree);
+        breakdown.tree_traversal = t0.elapsed().as_secs_f64();
+        let _ = &interaction_lists;
+
+        // --- Evaluation: L2P plus near-field P2P, leaf by leaf via the shared
+        // per-leaf kernels (the sharded traced path runs the same kernels per
+        // processor, so the arithmetic is identical by construction).
         let mut results = vec![(Vec3::ZERO, 0.0); self.bodies.len()];
         let mut reads: Vec<Vec<u32>> =
             if record_reads { vec![Vec::new(); self.bodies.len()] } else { Vec::new() };
+        let mut leaf_out: Vec<(Vec3, f64)> = Vec::new();
+        let mut leaf_reads: Vec<Vec<u32>> = Vec::new();
         let mut inter_time = 0.0;
         let mut intra_time = 0.0;
         for c in 0..num_leaves {
+            let leaf_bodies = &tree.leaf_bodies[c];
+            leaf_reads.resize_with(leaf_bodies.len().max(leaf_reads.len()), Vec::new);
+            let reads_arg = record_reads.then_some(&mut leaf_reads[..leaf_bodies.len()]);
+
             let t_leaf = Instant::now();
-            let local = &locals[leaf_level][c];
-            // Far field via the local expansion, near field via direct interactions.
-            for &bi in &tree.leaf_bodies[c] {
-                let body = &self.bodies[bi as usize];
-                let z = Complex::new(body.pos.x, body.pos.y);
-                let (phi, dphi) = local.evaluate(z);
-                // Acceleration on a unit mass is -conj(phi'(z)).
-                let mut acc = Complex::new(-dphi.re, dphi.im);
-                let mut pot = phi.re;
-                // Intra-leaf direct interactions.
-                for &bj in &tree.leaf_bodies[c] {
-                    if bi == bj {
-                        continue;
-                    }
-                    let other = &self.bodies[bj as usize];
-                    if record_reads {
-                        reads[bi as usize].push(bj);
-                    }
-                    let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
-                    let r2 = dz.norm_sq() + eps2;
-                    acc += dz * (other.mass / r2);
-                    pot += 0.5 * other.mass * r2.ln();
-                }
-                results[bi as usize] = (Vec3::new(acc.re, acc.im, 0.0), pot);
-            }
+            self.eval_leaf_intra(leaf_bodies, &locals[c], &mut leaf_out, reads_arg);
             intra_time += t_leaf.elapsed().as_secs_f64();
 
             // Inter-leaf (neighbouring cells) direct interactions.
             let t_inter = Instant::now();
             for &n in &neighbor_lists[c] {
-                for &bi in &tree.leaf_bodies[c] {
-                    let body = &self.bodies[bi as usize];
-                    let mut acc = Complex::ZERO;
-                    let mut pot = 0.0;
-                    for &bj in &tree.leaf_bodies[n as usize] {
-                        let other = &self.bodies[bj as usize];
-                        if record_reads {
-                            reads[bi as usize].push(bj);
-                        }
-                        let dz = Complex::new(other.pos.x - body.pos.x, other.pos.y - body.pos.y);
-                        let r2 = dz.norm_sq() + eps2;
-                        acc += dz * (other.mass / r2);
-                        pot += 0.5 * other.mass * r2.ln();
-                    }
-                    results[bi as usize].0 += Vec3::new(acc.re, acc.im, 0.0);
-                    results[bi as usize].1 += pot;
-                }
+                let reads_arg = record_reads.then_some(&mut leaf_reads[..leaf_bodies.len()]);
+                self.eval_leaf_inter(
+                    leaf_bodies,
+                    &tree.leaf_bodies[n as usize],
+                    &mut leaf_out,
+                    reads_arg,
+                );
             }
             inter_time += t_inter.elapsed().as_secs_f64();
-            let _ = &interaction_lists; // lists are consumed during the M2L pass above
+
+            for (idx, &bi) in leaf_bodies.iter().enumerate() {
+                results[bi as usize] = leaf_out[idx];
+                if record_reads {
+                    std::mem::swap(&mut reads[bi as usize], &mut leaf_reads[idx]);
+                    leaf_reads[idx].clear();
+                }
+            }
         }
         breakdown.inter_particle = inter_time;
         breakdown.intra_particle = intra_time;
-        let _ = t0;
         (results, reads, breakdown)
     }
 
@@ -429,6 +518,127 @@ impl Fmm {
         let _ = partition.owner;
     }
 
+    /// One sharded traced iteration: the same intervals and per-processor access
+    /// streams as [`Fmm::step_traced`] (the executable spec this path is pinned to),
+    /// but each virtual processor evaluates its own leaves — near-field P2P, L2P and
+    /// access recording — as a rayon task into its own [`smtrace::Shard`].  The
+    /// expansion passes stay sequential (they are cheap relative to P2P and shared by
+    /// all processors), exactly like the sequential tree build.
+    fn step_traced_sharded<S: TraceSink>(
+        &mut self,
+        shards: &mut ShardSet,
+        scratch: &mut ShardScratch,
+        sink: &mut S,
+    ) {
+        let num_procs = shards.num_procs();
+        assert_eq!(sink.num_procs(), num_procs, "sink must match the processor count");
+        let tree = self.build_tree();
+        // Interval 1: sequential tree build.
+        for i in 0..self.bodies.len() {
+            sink.read(0, i);
+        }
+        sink.barrier();
+
+        self.partition_into(&tree, num_procs, &mut scratch.partition);
+        scratch.resize(num_procs);
+        // Interval 2: upward pass — P2M reads each leaf's bodies (by the leaf's owner).
+        {
+            let tree = &tree;
+            let tasks: Vec<_> =
+                shards.shards_mut().iter_mut().zip(scratch.partition.leaves.iter()).collect();
+            tasks.into_par_iter().for_each(|(shard, leaves)| {
+                for &c in leaves {
+                    for &b in &tree.leaf_bodies[c as usize] {
+                        shard.read(b as usize);
+                    }
+                }
+            });
+        }
+        shards.drain_interval(sink);
+
+        // Shared far-field machinery, then per-processor near-field evaluation.
+        let leaf_level = tree.leaf_level();
+        let locals = self.leaf_locals(&tree);
+
+        // Interval 3: evaluation — each owner evaluates and records its own leaves.
+        {
+            let this = &*self;
+            let tree = &tree;
+            let locals = &locals;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(scratch.partition.leaves.iter())
+                .zip(scratch.leaf_out.iter_mut())
+                .zip(scratch.leaf_reads.iter_mut())
+                .zip(scratch.results.iter_mut())
+                .map(|((((shard, leaves), leaf_out), leaf_reads), results)| {
+                    (shard, leaves, leaf_out, leaf_reads, results)
+                })
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, leaves, leaf_out, leaf_reads, results)| {
+                results.clear();
+                for &c in leaves {
+                    let leaf_bodies = &tree.leaf_bodies[c as usize];
+                    leaf_reads.resize_with(leaf_bodies.len().max(leaf_reads.len()), Vec::new);
+                    this.eval_leaf_intra(
+                        leaf_bodies,
+                        &locals[c as usize],
+                        leaf_out,
+                        Some(&mut leaf_reads[..leaf_bodies.len()]),
+                    );
+                    for &n in &QuadTree::neighbors(leaf_level, c)[..] {
+                        this.eval_leaf_inter(
+                            leaf_bodies,
+                            &tree.leaf_bodies[n as usize],
+                            leaf_out,
+                            Some(&mut leaf_reads[..leaf_bodies.len()]),
+                        );
+                    }
+                    for (idx, &bi) in leaf_bodies.iter().enumerate() {
+                        shard.read(bi as usize);
+                        for &other in &leaf_reads[idx] {
+                            shard.read(other as usize);
+                        }
+                        shard.write(bi as usize);
+                        let (acc, phi) = leaf_out[idx];
+                        results.push((bi, acc, phi));
+                        leaf_reads[idx].clear();
+                    }
+                }
+            });
+        }
+        shards.drain_interval(sink);
+
+        // Interval 4: update — each owner writes its bodies.
+        {
+            let tree = &tree;
+            let tasks: Vec<_> =
+                shards.shards_mut().iter_mut().zip(scratch.partition.leaves.iter()).collect();
+            tasks.into_par_iter().for_each(|(shard, leaves)| {
+                for &c in leaves {
+                    for &b in &tree.leaf_bodies[c as usize] {
+                        shard.write(b as usize);
+                    }
+                }
+            });
+        }
+        shards.drain_interval(sink);
+
+        // Scatter the per-processor results (every body is owned by exactly one leaf)
+        // and integrate, exactly as the serial spec does.
+        scratch.all_results.clear();
+        scratch.all_results.resize(self.bodies.len(), (Vec3::ZERO, 0.0));
+        for results in &scratch.results {
+            for &(bi, acc, phi) in results {
+                scratch.all_results[bi as usize] = (acc, phi);
+            }
+        }
+        let all_results = std::mem::take(&mut scratch.all_results);
+        self.apply_and_integrate(&all_results);
+        scratch.all_results = all_results;
+    }
+
     /// Run `iterations` traced iterations on `num_procs` virtual processors and return
     /// the finished (materialized) trace.
     pub fn trace_iterations(&mut self, iterations: usize, num_procs: usize) -> ProgramTrace {
@@ -438,10 +648,15 @@ impl Fmm {
     }
 
     /// Run `iterations` traced iterations, streaming the accesses into `sink` without
-    /// materializing a trace.
+    /// materializing a trace.  Generation is sharded: each virtual processor's leaves
+    /// are evaluated by a rayon task into a per-processor buffer, drained into `sink`
+    /// in deterministic processor order — every downstream counter is bit-identical to
+    /// looping [`Fmm::step_traced`] over the same sink.
     pub fn stream_iterations<S: TraceSink>(&mut self, iterations: usize, sink: &mut S) {
+        let mut shards = ShardSet::new(sink.num_procs());
+        let mut scratch = ShardScratch::default();
         for _ in 0..iterations {
-            self.step_traced(sink.num_procs(), sink);
+            self.step_traced_sharded(&mut shards, &mut scratch, sink);
         }
     }
 
@@ -601,8 +816,30 @@ mod tests {
         }
     }
 
-    /// `stream_iterations` feeds the DSM page-history sink directly, including the
-    /// lock acquisitions of the FMM's locked phases.
+    /// The sharded parallel traced path must produce the bit-identical trace — and the
+    /// bit-identical body state — as looping the serial `step_traced` spec.
+    #[test]
+    fn sharded_stream_matches_the_serial_traced_spec() {
+        let mut serial = small_fmm(300, 23);
+        let mut sharded = serial.clone();
+        let iterations = 2;
+        let procs = 3;
+        let mut serial_builder = TraceBuilder::new(serial.layout(), procs);
+        for _ in 0..iterations {
+            serial.step_traced(procs, &mut serial_builder);
+        }
+        let serial_trace = serial_builder.finish();
+        let sharded_trace = sharded.trace_iterations(iterations, procs);
+        assert_eq!(serial_trace, sharded_trace);
+        for (a, b) in serial.bodies.iter().zip(&sharded.bodies) {
+            assert_eq!(a.pos.x.to_bits(), b.pos.x.to_bits());
+            assert_eq!(a.vel.y.to_bits(), b.vel.y.to_bits());
+            assert_eq!(a.phi.to_bits(), b.phi.to_bits());
+        }
+    }
+
+    /// `stream_iterations` feeds the DSM page-history sink directly: the streamed
+    /// reduction must be bit-identical to materializing the trace first.
     #[test]
     fn stream_iterations_feeds_the_dsm_page_history_sink() {
         let mut fmm = small_fmm(300, 19);

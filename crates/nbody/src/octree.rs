@@ -7,12 +7,23 @@
 //! (an in-order traversal hands out physically contiguous groups of particles).  The
 //! particle array itself is left untouched by tree construction — which is exactly why
 //! its memory order can be so bad, and why reordering it is safe.
+//!
+//! Because the tree is rebuilt every iteration, its construction cost is on the trace
+//! generation hot path.  Leaf body lists are therefore *not* stored as one `Vec<u32>`
+//! per leaf (thousands of small heap allocations per rebuild): during construction each
+//! leaf chains its bodies through a single `next[body]` array, and one flattening pass
+//! at the end packs every leaf's bodies — in insertion order, exactly as the old
+//! per-leaf vectors stored them — into one shared arena addressed by `(offset, len)`
+//! ranges.  A rebuild thus performs O(1) allocations regardless of leaf count.
 
 use crate::body::Body;
 use crate::vec3::Vec3;
 
 /// Index of a node inside the [`Octree`]'s node arena.
 pub type NodeId = u32;
+
+/// Sentinel for "no body" in the construction-time chains.
+const NO_BODY: u32 = u32::MAX;
 
 /// One node of the octree.
 #[derive(Debug, Clone)]
@@ -27,18 +38,73 @@ pub struct OctNode {
     pub com: Vec3,
     /// Children (for internal nodes) — up to 8 octants, `None` if empty.
     pub children: [Option<NodeId>; 8],
-    /// Body indices (for leaf nodes).
-    pub bodies: Vec<u32>,
     /// Whether this node is a leaf.
     pub is_leaf: bool,
+    /// Start of this leaf's body range in the shared arena (see
+    /// [`Octree::leaf_bodies`]); 0 for internal nodes.
+    body_start: u32,
+    /// Length of this leaf's body range; 0 for internal nodes.
+    body_len: u32,
 }
 
 /// A Barnes-Hut octree over a body array.
 #[derive(Debug, Clone)]
 pub struct Octree {
     nodes: Vec<OctNode>,
+    /// Every leaf's body indices, packed back-to-back; leaves address it via
+    /// `(body_start, body_len)`.
+    body_arena: Vec<u32>,
     root: NodeId,
     leaf_capacity: usize,
+}
+
+/// Construction-time state: intrusive per-leaf body chains (freed before the tree is
+/// returned, so the finished tree carries only the flat arena).
+struct ChainBuilder {
+    /// `head[node]` — most recently inserted body of a leaf, [`NO_BODY`] if none.
+    head: Vec<u32>,
+    /// `count[node]` — number of bodies currently chained into a leaf.
+    count: Vec<u32>,
+    /// `next[body]` — the body inserted into the same leaf just before `body`.
+    next: Vec<u32>,
+    /// Reusable split buffers: a split pops one, reinserts from it, and returns it.
+    /// Nested splits (coincident clusters) pop deeper buffers, so the pool grows to
+    /// the maximum split depth, not the leaf count.
+    pool: Vec<Vec<u32>>,
+}
+
+impl ChainBuilder {
+    fn new(num_bodies: usize) -> Self {
+        ChainBuilder {
+            head: vec![NO_BODY],
+            count: vec![0],
+            next: vec![NO_BODY; num_bodies],
+            pool: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, node: NodeId, body: u32) -> u32 {
+        let n = node as usize;
+        self.next[body as usize] = self.head[n];
+        self.head[n] = body;
+        self.count[n] += 1;
+        self.count[n]
+    }
+
+    /// Remove a leaf's bodies into `out` in insertion order (the chain stores them
+    /// newest-first, so the walk is reversed).
+    fn take_into(&mut self, node: NodeId, out: &mut Vec<u32>) {
+        let n = node as usize;
+        out.clear();
+        let mut body = self.head[n];
+        while body != NO_BODY {
+            out.push(body);
+            body = self.next[body as usize];
+        }
+        out.reverse();
+        self.head[n] = NO_BODY;
+        self.count[n] = 0;
+    }
 }
 
 impl Octree {
@@ -73,15 +139,19 @@ impl Octree {
                 mass: 0.0,
                 com: Vec3::ZERO,
                 children: [None; 8],
-                bodies: Vec::new(),
                 is_leaf: true,
+                body_start: 0,
+                body_len: 0,
             }],
+            body_arena: Vec::with_capacity(bodies.len()),
             root: 0,
             leaf_capacity,
         };
+        let mut chains = ChainBuilder::new(bodies.len());
         for (i, b) in bodies.iter().enumerate() {
-            tree.insert(tree.root, i as u32, b.pos, bodies);
+            tree.insert(&mut chains, tree.root, i as u32, b.pos, bodies);
         }
+        tree.flatten(&mut chains);
         tree.summarize(tree.root, bodies);
         tree
     }
@@ -101,6 +171,13 @@ impl Octree {
         &self.nodes[id as usize]
     }
 
+    /// The body indices stored in leaf `id`, in insertion order (empty for internal
+    /// nodes).
+    pub fn leaf_bodies(&self, id: NodeId) -> &[u32] {
+        let n = &self.nodes[id as usize];
+        &self.body_arena[n.body_start as usize..(n.body_start + n.body_len) as usize]
+    }
+
     /// The octant (0..8) of `pos` relative to a cell centred at `center`.
     fn octant(center: Vec3, pos: Vec3) -> usize {
         (usize::from(pos.x >= center.x))
@@ -118,26 +195,42 @@ impl Octree {
         )
     }
 
-    fn insert(&mut self, node: NodeId, body: u32, pos: Vec3, bodies: &[Body]) {
+    fn insert(
+        &mut self,
+        chains: &mut ChainBuilder,
+        node: NodeId,
+        body: u32,
+        pos: Vec3,
+        bodies: &[Body],
+    ) {
         let n = node as usize;
         if self.nodes[n].is_leaf {
-            self.nodes[n].bodies.push(body);
+            let count = chains.push(node, body);
             // Split when over capacity, unless the cell is already tiny (coincident
             // particles would otherwise recurse forever).
-            if self.nodes[n].bodies.len() > self.leaf_capacity && self.nodes[n].half > 1e-12 {
-                let existing = std::mem::take(&mut self.nodes[n].bodies);
+            if count as usize > self.leaf_capacity && self.nodes[n].half > 1e-12 {
+                let mut existing = chains.pool.pop().unwrap_or_default();
+                chains.take_into(node, &mut existing);
                 self.nodes[n].is_leaf = false;
-                for b in existing {
+                for &b in &existing {
                     let p = bodies[b as usize].pos;
-                    self.insert_into_child(node, b, p, bodies);
+                    self.insert_into_child(chains, node, b, p, bodies);
                 }
+                chains.pool.push(existing);
             }
         } else {
-            self.insert_into_child(node, body, pos, bodies);
+            self.insert_into_child(chains, node, body, pos, bodies);
         }
     }
 
-    fn insert_into_child(&mut self, node: NodeId, body: u32, pos: Vec3, bodies: &[Body]) {
+    fn insert_into_child(
+        &mut self,
+        chains: &mut ChainBuilder,
+        node: NodeId,
+        body: u32,
+        pos: Vec3,
+        bodies: &[Body],
+    ) {
         let (center, half) = {
             let n = &self.nodes[node as usize];
             (n.center, n.half)
@@ -153,14 +246,33 @@ impl Octree {
                     mass: 0.0,
                     com: Vec3::ZERO,
                     children: [None; 8],
-                    bodies: Vec::new(),
                     is_leaf: true,
+                    body_start: 0,
+                    body_len: 0,
                 });
+                chains.head.push(NO_BODY);
+                chains.count.push(0);
                 self.nodes[node as usize].children[oct] = Some(id);
                 id
             }
         };
-        self.insert(child, body, pos, bodies);
+        self.insert(chains, child, body, pos, bodies);
+    }
+
+    /// Pack every leaf's chained bodies into the shared arena, in insertion order.
+    fn flatten(&mut self, chains: &mut ChainBuilder) {
+        let mut ordered = chains.pool.pop().unwrap_or_default();
+        for id in 0..self.nodes.len() {
+            if !self.nodes[id].is_leaf {
+                continue;
+            }
+            let start = self.body_arena.len() as u32;
+            chains.take_into(id as NodeId, &mut ordered);
+            self.body_arena.extend_from_slice(&ordered);
+            self.nodes[id].body_start = start;
+            self.nodes[id].body_len = self.body_arena.len() as u32 - start;
+        }
+        chains.pool.push(ordered);
     }
 
     /// Compute mass and centre of mass bottom-up.
@@ -169,8 +281,9 @@ impl Octree {
         if self.nodes[n].is_leaf {
             let mut mass = 0.0;
             let mut weighted = Vec3::ZERO;
-            for &b in &self.nodes[n].bodies {
-                let body = &bodies[b as usize];
+            let (start, len) = (self.nodes[n].body_start as usize, self.nodes[n].body_len as usize);
+            for k in start..start + len {
+                let body = &bodies[self.body_arena[k] as usize];
                 mass += body.mass;
                 weighted += body.pos * body.mass;
             }
@@ -200,14 +313,21 @@ impl Octree {
     /// space-filling-curve reordering imposes on memory.
     pub fn inorder_bodies(&self) -> Vec<u32> {
         let mut out = Vec::new();
-        self.collect_inorder(self.root, &mut out);
+        self.inorder_bodies_into(&mut out);
         out
+    }
+
+    /// [`Octree::inorder_bodies`] into a caller-provided buffer (cleared first), so
+    /// per-iteration traversals can reuse one allocation.
+    pub fn inorder_bodies_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        self.collect_inorder(self.root, out);
     }
 
     fn collect_inorder(&self, node: NodeId, out: &mut Vec<u32>) {
         let n = &self.nodes[node as usize];
         if n.is_leaf {
-            out.extend_from_slice(&n.bodies);
+            out.extend_from_slice(self.leaf_bodies(node));
         } else {
             for child in n.children.into_iter().flatten() {
                 self.collect_inorder(child, out);
@@ -234,7 +354,7 @@ mod tests {
         for id in 0..tree.num_nodes() {
             let node = tree.node(id as NodeId);
             if node.is_leaf {
-                for &b in &node.bodies {
+                for &b in tree.leaf_bodies(id as NodeId) {
                     seen[b as usize] += 1;
                 }
             }
@@ -250,9 +370,29 @@ mod tests {
         for id in 0..tree.num_nodes() {
             let node = tree.node(id as NodeId);
             if node.is_leaf {
-                assert!(node.bodies.len() <= cap, "leaf holds {} bodies", node.bodies.len());
+                let len = tree.leaf_bodies(id as NodeId).len();
+                assert!(len <= cap, "leaf holds {len} bodies");
             }
         }
+    }
+
+    #[test]
+    fn arena_ranges_are_disjoint_and_cover_every_body() {
+        let bs = bodies(700, 9);
+        let tree = Octree::build(&bs, 4);
+        let mut total = 0usize;
+        for id in 0..tree.num_nodes() {
+            let node = tree.node(id as NodeId);
+            if node.is_leaf {
+                total += tree.leaf_bodies(id as NodeId).len();
+            } else {
+                assert!(tree.leaf_bodies(id as NodeId).is_empty());
+            }
+        }
+        assert_eq!(total, bs.len(), "leaf ranges must tile the arena");
+        let mut all: Vec<u32> = tree.body_arena.clone();
+        all.sort_unstable();
+        assert_eq!(all, (0..bs.len() as u32).collect::<Vec<_>>());
     }
 
     #[test]
@@ -293,6 +433,15 @@ mod tests {
         };
         let array_order: Vec<u32> = (0..bs.len() as u32).collect();
         assert!(mean_dist(&order) * 2.0 < mean_dist(&array_order));
+    }
+
+    #[test]
+    fn inorder_bodies_into_reuses_the_buffer() {
+        let bs = bodies(300, 8);
+        let tree = Octree::build(&bs, 8);
+        let mut buf = vec![7u32; 5];
+        tree.inorder_bodies_into(&mut buf);
+        assert_eq!(buf, tree.inorder_bodies());
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //! * [`TraceSink`] — the streaming consumer contract: applications emit accesses,
 //!   locks and barriers into any sink, so a simulator can replay a run
 //!   interval-by-interval without a materialized trace;
+//! * [`ShardSet`] — the parallel producer side of that contract: per-virtual-processor
+//!   append-only buffers that rayon tasks fill concurrently, drained deterministically
+//!   into any sink so every downstream counter stays bit-identical to the serial
+//!   traced paths;
 //! * [`TraceBuilder`] / [`ProgramTrace`] — the materializing sink: per-processor,
 //!   per-interval access streams separated by barriers (and annotated with lock
 //!   acquisitions), kept for analyses that re-read the trace under several layouts;
@@ -61,11 +65,13 @@
 pub mod access;
 pub mod layout;
 pub mod sets;
+pub mod shard;
 pub mod sink;
 pub mod trace;
 
 pub use access::{Access, AccessKind};
 pub use layout::{ConsistencyGranularity, ObjectLayout};
 pub use sets::{SharingHistogram, UnitAccessSets};
+pub use shard::{Shard, ShardSet};
 pub use sink::{IntervalUnitSets, TeeSink, TraceSink, UnitSetsSink};
 pub use trace::{IntervalTrace, ProgramTrace, SyncEvent, TraceBuilder};

@@ -28,7 +28,7 @@ pub enum SyncEvent {
 
 /// One synchronization interval: the accesses performed by every virtual processor
 /// between the previous synchronization point and `closing_sync`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IntervalTrace {
     /// `accesses[p]` is the ordered access stream of virtual processor `p`.
     pub accesses: Vec<Vec<Access>>,
@@ -68,7 +68,7 @@ impl IntervalTrace {
 }
 
 /// A complete traced execution: the object-array layout plus every interval.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProgramTrace {
     /// Layout of the primary object array the accesses refer to.
     pub layout: ObjectLayout,

@@ -38,8 +38,18 @@
 use rayon::prelude::*;
 use reorder::graph::{rcm_ordering, Adjacency};
 use reorder::{compute_reordering, Method, Reordering};
-use smtrace::{ObjectLayout, ProgramTrace, TraceBuilder, TraceSink};
+use smtrace::{ObjectLayout, ProgramTrace, ShardSet, TraceBuilder, TraceSink};
 use workloads::UnstructuredMesh;
+
+/// Reusable buffers for the sharded traced path: per-chunk edge fluxes and face means
+/// plus the delta array the node loop consumes.  Held across sweeps by
+/// [`Unstructured::stream_sweeps`].
+#[derive(Debug, Default)]
+struct ShardScratch {
+    fluxes: Vec<Vec<f64>>,
+    means: Vec<Vec<f64>>,
+    delta: Vec<f64>,
+}
 
 /// Object size (bytes) of a node record, from Table 1 of the paper.
 pub const NODE_BYTES: usize = 32;
@@ -304,6 +314,126 @@ impl Unstructured {
         self.sweep_sequential();
     }
 
+    /// One sharded traced sweep: the same intervals and per-processor access streams
+    /// as [`Unstructured::sweep_traced`] (the executable spec this path is pinned to),
+    /// but each virtual processor's edge chunk, face chunk and node block run as rayon
+    /// tasks into per-processor [`smtrace::Shard`]s.  The per-edge fluxes and per-face
+    /// means are computed inside the tasks (node values are read-only during a sweep)
+    /// and the deltas are *accumulated* serially in global edge/face order, so the
+    /// solution stays bit-identical to [`Unstructured::sweep_sequential`].
+    fn sweep_traced_sharded<S: TraceSink>(
+        &mut self,
+        shards: &mut ShardSet,
+        scratch: &mut ShardScratch,
+        sink: &mut S,
+    ) {
+        let num_procs = shards.num_procs();
+        assert_eq!(sink.num_procs(), num_procs, "sink must match the processor count");
+        let n = self.nodes.len();
+        // Interval 1: edge loop.
+        let edges_per_proc = self.edges.len().div_ceil(num_procs).max(1);
+        let num_edge_chunks = self.edges.chunks(edges_per_proc).len();
+        scratch.fluxes.resize_with(num_edge_chunks, Vec::new);
+        {
+            let this = &*self;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(this.edges.chunks(edges_per_proc))
+                .zip(scratch.fluxes.iter_mut())
+                .map(|((shard, chunk), fluxes)| (shard, chunk, fluxes))
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, chunk, fluxes)| {
+                fluxes.clear();
+                for &(a, b) in chunk {
+                    shard.read(a as usize);
+                    shard.read(b as usize);
+                    shard.write(a as usize);
+                    shard.write(b as usize);
+                    let (a, b) = (a as usize, b as usize);
+                    fluxes.push(
+                        this.params.edge_coeff
+                            * this.edge_weight(a, b)
+                            * (this.nodes[b].value - this.nodes[a].value),
+                    );
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Interval 2: face loop.
+        let faces_per_proc = self.faces.len().div_ceil(num_procs).max(1);
+        let num_face_chunks = self.faces.chunks(faces_per_proc).len();
+        scratch.means.resize_with(num_face_chunks, Vec::new);
+        {
+            let this = &*self;
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .zip(this.faces.chunks(faces_per_proc))
+                .zip(scratch.means.iter_mut())
+                .map(|((shard, chunk), means)| (shard, chunk, means))
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, chunk, means)| {
+                means.clear();
+                for f in chunk {
+                    for &v in f {
+                        shard.read(v as usize);
+                    }
+                    for &v in f {
+                        shard.write(v as usize);
+                    }
+                    means.push(
+                        (this.nodes[f[0] as usize].value
+                            + this.nodes[f[1] as usize].value
+                            + this.nodes[f[2] as usize].value)
+                            / 3.0,
+                    );
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Interval 3: node loop (contiguous owner blocks).
+        {
+            let tasks: Vec<_> = shards
+                .shards_mut()
+                .iter_mut()
+                .enumerate()
+                .map(|(p, shard)| {
+                    (shard, (p * n).div_ceil(num_procs)..((p + 1) * n).div_ceil(num_procs))
+                })
+                .collect();
+            tasks.into_par_iter().for_each(|(shard, range)| {
+                for i in range {
+                    shard.read(i);
+                    shard.write(i);
+                }
+            });
+        }
+        shards.drain_interval(sink);
+        // Accumulate the precomputed fluxes and face corrections in global order —
+        // the same order (and therefore the same floating-point result) as
+        // `compute_deltas` — and relax.
+        scratch.delta.clear();
+        scratch.delta.resize(n, 0.0);
+        for (chunk, fluxes) in self.edges.chunks(edges_per_proc).zip(&scratch.fluxes) {
+            for (&(a, b), &flux) in chunk.iter().zip(fluxes) {
+                scratch.delta[a as usize] += flux;
+                scratch.delta[b as usize] -= flux;
+            }
+        }
+        for (chunk, means) in self.faces.chunks(faces_per_proc).zip(&scratch.means) {
+            for (f, &mean) in chunk.iter().zip(means) {
+                for &v in f {
+                    scratch.delta[v as usize] +=
+                        self.params.face_coeff * (mean - self.nodes[v as usize].value);
+                }
+            }
+        }
+        let delta = std::mem::take(&mut scratch.delta);
+        self.apply_deltas(&delta);
+        scratch.delta = delta;
+    }
+
     /// Run `sweeps` traced sweeps on `num_procs` virtual processors and return the
     /// finished (materialized) trace.
     pub fn trace_sweeps(&mut self, sweeps: usize, num_procs: usize) -> ProgramTrace {
@@ -313,10 +443,15 @@ impl Unstructured {
     }
 
     /// Run `sweeps` traced sweeps, streaming the accesses into `sink` without
-    /// materializing a trace.
+    /// materializing a trace.  Generation is sharded: each virtual processor's chunk
+    /// runs as a rayon task into a per-processor buffer, drained into `sink` in
+    /// deterministic processor order — every downstream counter is bit-identical to
+    /// looping [`Unstructured::sweep_traced`] over the same sink.
     pub fn stream_sweeps<S: TraceSink>(&mut self, sweeps: usize, sink: &mut S) {
+        let mut shards = ShardSet::new(sink.num_procs());
+        let mut scratch = ShardScratch::default();
         for _ in 0..sweeps {
-            self.sweep_traced(sink.num_procs(), sink);
+            self.sweep_traced_sharded(&mut shards, &mut scratch, sink);
         }
     }
 
@@ -461,6 +596,26 @@ mod tests {
             assert!(w[1] >= w[0]);
         }
         assert_eq!(*owners.last().unwrap(), 15);
+    }
+
+    /// The sharded parallel traced path must produce the bit-identical trace — and the
+    /// bit-identical solution — as looping the serial `sweep_traced` spec.
+    #[test]
+    fn sharded_stream_matches_the_serial_traced_spec() {
+        let mut serial = small(23);
+        let mut sharded = serial.clone();
+        let sweeps = 3;
+        let procs = 5;
+        let mut serial_builder = TraceBuilder::new(serial.layout(), procs);
+        for _ in 0..sweeps {
+            serial.sweep_traced(procs, &mut serial_builder);
+        }
+        let serial_trace = serial_builder.finish();
+        let sharded_trace = sharded.trace_sweeps(sweeps, procs);
+        assert_eq!(serial_trace, sharded_trace);
+        for (a, b) in serial.nodes.iter().zip(&sharded.nodes) {
+            assert_eq!(a.value.to_bits(), b.value.to_bits());
+        }
     }
 
     /// `stream_sweeps` feeds the DSM page-history sink directly: the streamed
