@@ -173,3 +173,44 @@ proptest! {
         }
     }
 }
+
+// The shim's executor is a per-process global, so the cases above all run on
+// whatever pool `RAYON_NUM_THREADS` sized.  These two cases force the 1-, 2- and
+// 8-worker schedules explicitly via `rayon::with_num_threads`, so concurrent shard
+// fills + work-stealing drains are pinned bit-identical even on a 1-core host.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn barnes_hut_sharded_is_schedule_independent(
+        args in (16usize..100, 1usize..6, 0usize..3, 0u64..1000)
+    ) {
+        let (n, procs, threads_index, seed) = args;
+        let threads = [1usize, 2, 8][threads_index];
+        let params = BarnesHutParams { theta: 0.6, dt: 0.01, eps: 0.05, leaf_capacity: 4 };
+        let mut serial = BarnesHut::two_plummer(n, seed, params);
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| serial.step_traced(procs, sink));
+        let b = rayon::with_num_threads(threads, || {
+            run_instrumented(&layout, procs, |sink| sharded.stream_iterations(1, sink))
+        });
+        assert_reductions_match(a, b, procs);
+    }
+
+    #[test]
+    fn unstructured_sharded_is_schedule_independent(
+        args in (32usize..300, 1usize..8, 0usize..3, 0u64..1000)
+    ) {
+        let (n, procs, threads_index, seed) = args;
+        let threads = [1usize, 2, 8][threads_index];
+        let mut serial = Unstructured::generated(n, seed, UnstructuredParams::default());
+        let mut sharded = serial.clone();
+        let layout = serial.layout();
+        let a = run_instrumented(&layout, procs, |sink| serial.sweep_traced(procs, sink));
+        let b = rayon::with_num_threads(threads, || {
+            run_instrumented(&layout, procs, |sink| sharded.stream_sweeps(1, sink))
+        });
+        assert_reductions_match(a, b, procs);
+    }
+}

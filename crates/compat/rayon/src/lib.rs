@@ -2,10 +2,14 @@
 //!
 //! The build environment for this repository has no access to a crates.io registry, so
 //! the workspace vendors this shim as a path dependency under the `rayon` library name
-//! (the manifests alias `rayon-shim` → `rayon`).  The parallelism is real: every
-//! adapter splits its input into one contiguous block per worker thread and executes
-//! the blocks on [`std::thread::scope`] threads, so the applications' `step_parallel`
-//! paths genuinely use all host cores.
+//! (the manifests alias `rayon-shim` → `rayon`).  The parallelism is real, and since
+//! PR 6 it is *persistent*: every adapter schedules onto a lazily-created,
+//! process-lifetime work-stealing pool ([`pool`] — Mutex-protected injector +
+//! per-worker deques + a condvar parker), so an interval of sharded trace generation
+//! or a DSM reduction pays a queue push, not a `std::thread::scope` spawn, per task.
+//! Borrowing call sites (`par_chunks_mut`, `join` closures over locals) still compile
+//! unchanged: the pool's job core ([`job`]) re-creates scoped-thread lifetimes by
+//! blocking the submitting frame until its jobs finish.
 //!
 //! Only the adapters the workspace calls are provided: `join`, `par_iter`,
 //! `par_iter_mut`, `par_chunks`, `par_chunks_mut`, `into_par_iter` (on ranges and
@@ -14,13 +18,23 @@
 //! adapters are *eager*: each combinator that does per-item work runs it in parallel
 //! immediately and materializes the results, which keeps the implementation tiny at the
 //! cost of one intermediate `Vec` per stage.  All call sites in this workspace use
-//! short two-stage pipelines over large items, where that cost is noise.
+//! short two-stage pipelines over large items, where that cost is noise.  Results are
+//! always gathered in input order, so every adapter is observably deterministic no
+//! matter which worker ran which chunk.
+//!
+//! Panic contract (pinned by `tests/panic_semantics.rs`): a panicking task's original
+//! payload reaches the caller via `resume_unwind`, sibling tasks of the same batch
+//! always run to completion first, and the pool survives — no worker dies, no lock is
+//! poisoned, the very next `par_*` call works.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
-use std::num::NonZeroUsize;
 use std::ops::Range;
-use std::sync::OnceLock;
+
+mod job;
+mod pool;
+
+pub use pool::with_num_threads;
 
 pub mod prelude {
     //! Glob-import target mirroring `rayon::prelude`.
@@ -29,26 +43,21 @@ pub mod prelude {
 
 /// Number of worker threads the adapters fan out to.
 ///
-/// Honours `RAYON_NUM_THREADS` (like rayon) and falls back to
-/// [`std::thread::available_parallelism`].
+/// This is the size of the pool the *current thread* submits to: the global pool
+/// (sized once per process from `RAYON_NUM_THREADS`, like rayon, falling back to
+/// [`std::thread::available_parallelism`]), unless overridden by
+/// [`with_num_threads`] or queried from inside a differently-sized pool's worker.
 pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::env::var("RAYON_NUM_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&n| n > 0)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
-            })
-    })
+    pool::current_pool().num_threads()
 }
 
 /// Run two closures, potentially on separate worker threads, and return both results
 /// (rayon's `join`).
 ///
 /// On a single-threaded configuration the closures run sequentially on the calling
-/// thread; otherwise `b` runs on a scoped thread while `a` runs on the caller.
+/// thread; otherwise `b` is queued on the pool (stealable by any idle worker) while
+/// `a` runs on the caller, which then executes pool work — usually `b` itself, if
+/// nobody stole it — until both are done.
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -56,15 +65,26 @@ where
     RA: Send,
     RB: Send,
 {
-    if current_num_threads() <= 1 {
-        (a(), b())
-    } else {
-        std::thread::scope(|scope| {
-            let handle = scope.spawn(b);
-            let ra = a();
-            (ra, handle.join().expect("rayon-shim join worker panicked"))
-        })
-    }
+    pool::current_pool().join(a, b)
+}
+
+/// How many tasks to split `len` items into on a pool of `workers` workers:
+/// ~[`SPLIT_PER_WORKER`]× the worker count so early-finishing workers can steal the
+/// stragglers' surplus, but never more than one task per [`MIN_CHUNK_LEN`] items and
+/// never more than `len` tasks.
+///
+/// `MIN_CHUNK_LEN` is 1 — rayon's own default splitting floor — because this
+/// workspace's hot `par_iter` call sites hand out *heavy* items (one virtual
+/// processor's whole force evaluation each): batching two of those into one task
+/// would halve parallelism exactly when `len ≈ workers`.  Large-`len` overhead is
+/// already bounded by the 4×-workers task cap, not by the chunk floor.
+const SPLIT_PER_WORKER: usize = 4;
+const MIN_CHUNK_LEN: usize = 1;
+
+fn split_task_count(len: usize, workers: usize) -> usize {
+    let target_tasks = workers.saturating_mul(SPLIT_PER_WORKER).max(1);
+    let chunk_len = len.div_ceil(target_tasks).max(MIN_CHUNK_LEN);
+    len.div_ceil(chunk_len.max(1)).max(1)
 }
 
 /// Split `items` into at most `parts` contiguous runs of near-equal length.
@@ -84,25 +104,25 @@ fn split_chunks<T>(items: Vec<T>, parts: usize) -> Vec<Vec<T>> {
     chunks
 }
 
-/// Map `f` over `items` on scoped worker threads, preserving order.
+/// Map `f` over `items` on the pool, preserving order.
 fn par_map_vec<T, U, F>(items: Vec<T>, f: F) -> Vec<U>
 where
     T: Send,
     U: Send,
     F: Fn(T) -> U + Sync,
 {
-    if current_num_threads() <= 1 || items.len() <= 1 {
+    let pool = pool::current_pool();
+    if pool.num_threads() <= 1 || items.len() <= 1 {
         return items.into_iter().map(f).collect();
     }
-    let chunks = split_chunks(items, current_num_threads());
+    let parts = split_task_count(items.len(), pool.num_threads());
+    let chunks = split_chunks(items, parts);
     let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<U>>()))
-            .collect();
-        handles.into_iter().flat_map(|h| h.join().expect("rayon-shim worker panicked")).collect()
-    })
+    let tasks: Vec<_> = chunks
+        .into_iter()
+        .map(|chunk| move || chunk.into_iter().map(f).collect::<Vec<U>>())
+        .collect();
+    pool.run_batch(tasks).into_iter().flatten().collect()
 }
 
 /// An eager "parallel iterator": a materialized item list whose combinators run on
@@ -302,6 +322,32 @@ mod tests {
             }
         });
         assert!(v.iter().all(|&x| x == 7));
+    }
+
+    #[test]
+    fn split_task_count_splits_to_four_x_workers_but_never_merges_scarce_items() {
+        // Few heavy items (the per-processor case): one task per item, always.
+        assert_eq!(split_task_count(8, 8), 8);
+        assert_eq!(split_task_count(16, 8), 16);
+        assert_eq!(split_task_count(3, 8), 3);
+        // Large inputs: capped near SPLIT_PER_WORKER x workers.
+        assert_eq!(split_task_count(100_000, 4), 16);
+        assert!(split_task_count(10_000, 8) <= 8 * SPLIT_PER_WORKER);
+        // Degenerate sizes stay sane.
+        assert_eq!(split_task_count(1, 8), 1);
+        assert_eq!(split_task_count(0, 8), 1);
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let outer = current_num_threads();
+        let inner = with_num_threads(3, || {
+            let nested = with_num_threads(2, current_num_threads);
+            assert_eq!(nested, 2);
+            current_num_threads()
+        });
+        assert_eq!(inner, 3);
+        assert_eq!(current_num_threads(), outer);
     }
 
     #[test]

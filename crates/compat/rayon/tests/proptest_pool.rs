@@ -1,0 +1,161 @@
+//! Proptest equivalence suite for the pooled shim, mirroring the pinning style of
+//! `crates/bench/tests/proptest_gen.rs`: for arbitrary inputs, chunk sizes and
+//! thread counts, every `par_*` adapter must be indistinguishable from its serial
+//! `Iterator` counterpart — same values, same order, bit for bit.  This is the
+//! property that lets every downstream consumer (radix ranking, sharded trace
+//! drains, DSM reductions) assume the executor swap cannot perturb a single trace.
+//!
+//! `reduce` is pinned under its documented contract: the identity must be `op`'s
+//! identity and `op` associative — here integer addition and `max`, whose serial
+//! folds are exact references.
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+use rayon::with_num_threads;
+
+/// Draw a thread count from the battery's schedule set {1, 2, 4, 8}.
+fn threads_from(index: usize) -> usize {
+    [1usize, 2, 4, 8][index % 4]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn map_collect_matches_serial(
+        data in prop::collection::vec(any::<u64>(), 0..300),
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial: Vec<u64> = data.iter().map(|&x| x.wrapping_mul(31).rotate_left(9)).collect();
+        let parallel: Vec<u64> = with_num_threads(threads, || {
+            data.par_iter().map(|&x| x.wrapping_mul(31).rotate_left(9)).collect()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn into_par_iter_on_range_matches_serial(
+        len in 0usize..500,
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial: Vec<usize> = (0..len).map(|x| x * x).collect();
+        let parallel: Vec<usize> =
+            with_num_threads(threads, || (0..len).into_par_iter().map(|x| x * x).collect());
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_chunks_matches_serial_chunks(
+        data in prop::collection::vec(any::<u32>(), 0..400),
+        chunk in 1usize..33,
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial: Vec<u64> =
+            data.chunks(chunk).map(|c| c.iter().map(|&x| u64::from(x)).sum()).collect();
+        let parallel: Vec<u64> = with_num_threads(threads, || {
+            data.par_chunks(chunk).map(|c| c.iter().map(|&x| u64::from(x)).sum()).collect()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_serial_mutation(
+        data in prop::collection::vec(any::<u64>(), 0..400),
+        chunk in 1usize..33,
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let mut serial = data.clone();
+        serial.chunks_mut(chunk).enumerate().for_each(|(i, c)| {
+            for slot in c.iter_mut() {
+                *slot = slot.wrapping_add(i as u64);
+            }
+        });
+        let mut parallel = data;
+        // The shim has no `enumerate`, so the chunk index rides in via `zip` — the
+        // same shape the radix scatter call sites use.
+        let offsets: Vec<u64> = (0..parallel.len().div_ceil(chunk) as u64).collect();
+        with_num_threads(threads, || {
+            parallel
+                .par_chunks_mut(chunk)
+                .zip(offsets.par_iter())
+                .for_each(|(c, &i)| {
+                    for slot in c.iter_mut() {
+                        *slot = slot.wrapping_add(i);
+                    }
+                });
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn zip_matches_serial_zip(
+        left in prop::collection::vec(any::<u32>(), 0..200),
+        right in prop::collection::vec(any::<u32>(), 0..200),
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial: Vec<u64> =
+            left.iter().zip(right.iter()).map(|(&l, &r)| u64::from(l) + u64::from(r)).collect();
+        let parallel: Vec<u64> = with_num_threads(threads, || {
+            left.par_iter()
+                .zip(right.par_iter())
+                .map(|(&l, &r)| u64::from(l) + u64::from(r))
+                .collect()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn flat_map_iter_matches_serial_flat_map(
+        data in prop::collection::vec(0u32..50, 0..120),
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial: Vec<u32> =
+            data.iter().flat_map(|&x| (0..x % 5).map(move |k| x + k)).collect();
+        let parallel: Vec<u32> = with_num_threads(threads, || {
+            data.par_iter().flat_map_iter(|&x| (0..x % 5).map(move |k| x + k)).collect()
+        });
+        prop_assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn reduce_sum_and_max_match_serial_folds(
+        data in prop::collection::vec(any::<u64>(), 0..400),
+        chunk in 1usize..33,
+        threads_index in 0usize..4,
+    ) {
+        let threads = threads_from(threads_index);
+        let serial_sum: u64 = data.iter().fold(0u64, |a, &b| a.wrapping_add(b));
+        let parallel_sum: u64 = with_num_threads(threads, || {
+            data.par_chunks(chunk)
+                .map(|c| c.iter().fold(0u64, |a, &b| a.wrapping_add(b)))
+                .reduce(|| 0, u64::wrapping_add)
+        });
+        prop_assert_eq!(serial_sum, parallel_sum);
+        let serial_max = data.iter().copied().fold(0u64, u64::max);
+        let parallel_max: u64 =
+            with_num_threads(threads, || data.par_iter().map(|&x| x).reduce(|| 0, u64::max));
+        prop_assert_eq!(serial_max, parallel_max);
+    }
+
+    #[test]
+    fn for_each_observes_every_item_exactly_once(
+        len in 0usize..300,
+        threads_index in 0usize..4,
+    ) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let threads = threads_from(threads_index);
+        let hits: Vec<AtomicU64> = (0..len).map(|_| AtomicU64::new(0)).collect();
+        with_num_threads(threads, || {
+            (0..len).into_par_iter().for_each(|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        prop_assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+}
