@@ -261,6 +261,30 @@ pub static EXPERIMENTS: &[ExperimentSpec] = &[
         run: run_bench_gen_throughput,
     },
     ExperimentSpec {
+        id: "bench_trace_throughput",
+        aliases: &["trace-throughput", "trace_throughput", "bench-trace-throughput"],
+        title: "Trace-throughput bench: live generation vs on-disk corpus replay into the Origin 2000 model",
+        columns: &[
+            "app", "n", "procs", "path", "accesses", "ms", "maccess_s", "corpus_bytes",
+            "bytes_per_access", "l2_misses", "tlb_misses", "coherence_misses",
+            "speedup_vs_live",
+        ],
+        notes: &[
+            "Paths: `live` runs the full application (physics + tree builds + sweeps) into",
+            "a streaming SimSink — what every experiment paid per run before the corpus",
+            "existed; `replay` decodes a previously recorded corpus (delta/varint blocks,",
+            "checksum-validated) into the identical sink.  The corpus is recorded once per",
+            "app outside the timed region; both paths' SimulationResults are asserted",
+            "bit-identical, so replay is a faithful substitute, not an approximation.",
+            "corpus_bytes/bytes_per_access row the compression headline (the packed",
+            "in-memory Access is 4 bytes).  Expected shape: replay wins on every app —",
+            "decode is a linear varint scan while generation pays the physics — with the",
+            "margin largest on the evaluation-heavy apps (Barnes-Hut, FMM, Water-Spatial).",
+            "Cells run sequentially for honest wall-clock.",
+        ],
+        run: run_bench_trace_throughput,
+    },
+    ExperimentSpec {
         id: "ablation_unit_sweep",
         aliases: &["unit-sweep", "unit_sweep"],
         title: "Ablation: consistency-unit-size sweep, Moldyn (TreadMarks-model messages/data)",
@@ -1220,6 +1244,126 @@ fn run_bench_gen_throughput(cfg: &RunConfig) -> Vec<Row> {
     rows
 }
 
+fn run_bench_trace_throughput(cfg: &RunConfig) -> Vec<Row> {
+    use smtrace::codec::{CorpusReader, CorpusWriter};
+
+    let scale = cfg.scale;
+    let procs = cfg.procs_or(16);
+    let seed = cfg.seed_or(101);
+    // Best-of-N wall clock per path: both paths are deterministic, so repetition only
+    // filters scheduler noise.
+    let repetitions = if scale == Scale::Tiny { 1 } else { 5 };
+    let ms = |t0: Instant| t0.elapsed().as_secs_f64() * 1e3;
+    let total_accesses = |r: &SimulationResult| r.per_proc.iter().map(|p| p.accesses).sum::<u64>();
+    // Wall-clock-timing experiment: cells run sequentially (see the gen-throughput
+    // bench, which times the producer side of the same pipeline).
+    let mut rows = Vec::new();
+    for app in AppKind::ALL {
+        let n = scale.size_of(app);
+        let iters = scale.iterations_of(app);
+        let initial = crate::LiveApp::build(app, n, seed);
+        let layout = initial.layout();
+        let preset = OriginPreset::origin2000(procs);
+
+        // Record the corpus once, outside the timed region: recording cost amortizes
+        // over every future replay, which is the whole point of the format.
+        let corpus_path = std::env::temp_dir().join(format!(
+            "xp-trace-throughput-{}-{}.smtc",
+            std::process::id(),
+            app.name()
+        ));
+        let corpus = {
+            let mut live = initial.clone();
+            let mut writer = CorpusWriter::create(&corpus_path, layout.clone(), procs)
+                .expect("create trace corpus");
+            live.stream_sharded(iters, &mut writer);
+            writer.finish().expect("write trace corpus")
+        };
+
+        // The two paths, interleaved: alternating live/replay repetitions sample the
+        // same scheduler and frequency conditions, so the marginal apps — where the
+        // paths are within a few percent — are not decided by drift between two
+        // back-to-back timing blocks.
+        let mut live_ms = f64::INFINITY;
+        let mut live_result = None;
+        let mut replay_ms = f64::INFINITY;
+        let mut replay_result = None;
+        for _ in 0..repetitions {
+            // Path 1 — live generation into the streaming sink (the status quo).
+            let mut live = initial.clone();
+            let mut sink = SimSink::new(preset.build_machine(), layout.clone());
+            let t0 = Instant::now();
+            live.stream_sharded(iters, &mut sink);
+            let result = sink.finish();
+            live_ms = live_ms.min(ms(t0));
+            live_result = Some(result);
+
+            // Path 2 — decode the corpus from disk into the identical sink.
+            let mut reader = CorpusReader::open(&corpus_path).expect("open trace corpus");
+            let mut sink = SimSink::new(preset.build_machine(), layout.clone());
+            let t0 = Instant::now();
+            reader.replay_into(&mut sink).expect("decode trace corpus");
+            let result = sink.finish();
+            replay_ms = replay_ms.min(ms(t0));
+            replay_result = Some(result);
+        }
+        let live_result = live_result.expect("at least one repetition");
+        let replay_result = replay_result.expect("at least one repetition");
+        std::fs::remove_file(&corpus_path).ok();
+
+        // Bit-identical counters across both paths is a hard correctness requirement —
+        // a divergence here is a codec bug, not measurement noise.
+        assert_eq!(
+            live_result,
+            replay_result,
+            "corpus replay diverged from live generation for {}",
+            app.name()
+        );
+
+        let accesses = total_accesses(&live_result);
+        assert_eq!(accesses, corpus.accesses, "corpus summary disagrees with the sink");
+        let paths: [(&str, f64, &SimulationResult); 2] =
+            [("live", live_ms, &live_result), ("replay", replay_ms, &replay_result)];
+        for (path, path_ms, result) in paths {
+            rows.push(row![
+                app.name(),
+                initial.num_objects(),
+                procs,
+                path,
+                accesses,
+                path_ms,
+                accesses as f64 / (path_ms * 1e-3) / 1e6,
+                corpus.file_bytes,
+                corpus.bytes_per_access(),
+                result.l2_misses(),
+                result.tlb_misses(),
+                result.coherence_misses(),
+                live_ms / path_ms
+            ]);
+        }
+    }
+    // Summary rows: aggregate throughput over all five applications plus the geomean
+    // per-application speedup — the headline decode-bound-replay claim.
+    for s in summarize_bench_paths(&rows, &["live", "replay"], 3, 4, 5, &[9, 10, 11], 12) {
+        rows.push(row![
+            "(all)",
+            0usize,
+            procs,
+            s.path,
+            s.accesses,
+            s.ms,
+            s.maccess_s,
+            0u64,
+            0.0f64,
+            s.col_sums[0],
+            s.col_sums[1],
+            s.col_sums[2],
+            s.geomean_speedup
+        ]);
+    }
+    rows
+}
+
 fn run_ablation_unit_sweep(cfg: &RunConfig) -> Vec<Row> {
     let n = if cfg.scale == Scale::Paper { 32_000 } else { 6_000 };
     let procs = cfg.procs_or(16);
@@ -1263,8 +1407,8 @@ mod tests {
         }
         assert_eq!(
             all().len(),
-            16,
-            "12 legacy specs + the reorder-cost, sim-, dsm- and gen-throughput benches"
+            17,
+            "12 legacy specs + the reorder-cost, sim-, dsm-, gen- and trace-throughput benches"
         );
     }
 
@@ -1348,6 +1492,31 @@ mod tests {
         assert!(json.contains("\"path\": \"sharded\""));
         assert!(json.contains("\"app\": \"(all)\""));
         assert!(json.contains("\"speedup_vs_serial\": 1"), "serial speedup vs itself is 1.0");
+    }
+
+    #[test]
+    fn trace_throughput_bench_covers_all_apps_and_paths() {
+        let spec = find("trace-throughput").unwrap();
+        assert_eq!(spec.id, "bench_trace_throughput");
+        let result = spec.execute(&RunConfig { scale: Scale::Tiny, procs: Some(4), seed: None });
+        // 5 applications × 2 paths, plus one summary row per path; the run itself
+        // asserts bit-identical SimulationResults between live gen and corpus replay.
+        assert_eq!(result.rows.len(), 12);
+        let json = result.render(Format::Json);
+        assert!(json.contains("\"path\": \"live\""));
+        assert!(json.contains("\"path\": \"replay\""));
+        assert!(json.contains("\"app\": \"(all)\""));
+        assert!(json.contains("\"speedup_vs_live\": 1"), "live speedup vs itself is 1.0");
+        // Every recorded corpus must beat the packed 4-byte in-memory stream.
+        for row in &result.rows {
+            if let (crate::runner::Value::Str(app), crate::runner::Value::Float(bpa)) =
+                (&row.cells[0], &row.cells[8])
+            {
+                if app != "(all)" {
+                    assert!(*bpa < 4.0, "{app}: {bpa} bytes/access");
+                }
+            }
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod trace_cmd;
 
 use std::time::Instant;
 
@@ -64,6 +65,18 @@ impl AppKind {
             AppKind::WaterSpatial => "Water-Spatial",
             AppKind::Moldyn => "Moldyn",
             AppKind::Unstructured => "Unstructured",
+        }
+    }
+
+    /// Parse a CLI name (`xp trace record --app ...`) into an application.
+    pub fn parse(name: &str) -> Option<AppKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "barnes-hut" | "barneshut" | "barnes_hut" | "bh" => Some(AppKind::BarnesHut),
+            "fmm" => Some(AppKind::Fmm),
+            "water-spatial" | "water_spatial" | "water" => Some(AppKind::WaterSpatial),
+            "moldyn" => Some(AppKind::Moldyn),
+            "unstructured" | "mesh" => Some(AppKind::Unstructured),
+            _ => None,
         }
     }
 

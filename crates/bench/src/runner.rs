@@ -227,6 +227,7 @@ impl Format {
 }
 
 /// An executed experiment: the spec's metadata plus its data rows.
+#[derive(Debug)]
 pub struct ExperimentResult {
     /// Spec id.
     pub id: &'static str,

@@ -21,9 +21,11 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use reorder::Method;
 use repro_bench::experiments;
 use repro_bench::runner::{ExperimentSpec, Format, RunConfig};
-use repro_bench::Scale;
+use repro_bench::trace_cmd::{self, ReplayTarget};
+use repro_bench::{AppKind, Scale};
 
 const USAGE: &str = "\
 xp — experiment runner for the SC 2000 data-reordering reproduction
@@ -36,14 +38,24 @@ USAGE:
     xp run <id-or-alias>      [options]
     xp sweep                  [options]   run every experiment
     xp list                               list experiments
+    xp trace record --app <name> --out <corpus> [--order <method>] [options]
+    xp trace replay --in <corpus> [--into <sim|dsm>] [options]
+    xp trace info   --in <corpus> [options]
 
 OPTIONS:
     --format <text|json|csv>  output format (default: text)
-    --out <path>              write output to a file (sweep: to a directory)
+    --out <path>              write output to a file (sweep: to a directory;
+                              trace record: the corpus file)
     --scale <tiny|small|paper> problem sizes (default: small, or REPRO_FULL=1)
     --procs <N>               override the virtual-processor count
     --seed <N>                override the workload seed
     -h, --help                this help
+
+TRACE OPTIONS:
+    --app <name>              barnes-hut | fmm | water-spatial | moldyn | unstructured
+    --order <method>          hilbert | morton | column | row (record only)
+    --in <corpus>             corpus file to replay or inspect
+    --into <sim|dsm>          replay substrate (default: sim)
 ";
 
 struct Options {
@@ -121,6 +133,90 @@ fn emit(rendered: &str, out: Option<&Path>) -> Result<(), String> {
     }
 }
 
+/// Flags specific to the `xp trace` subcommands, peeled off before the shared
+/// options are parsed.
+#[derive(Default)]
+struct TraceFlags {
+    app: Option<AppKind>,
+    order: Option<Method>,
+    input: Option<PathBuf>,
+    target: Option<ReplayTarget>,
+}
+
+fn split_trace_flags(args: &[String]) -> Result<(TraceFlags, Vec<String>), String> {
+    let mut flags = TraceFlags::default();
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value_for =
+            |name: &str| it.next().map(|s| s.to_string()).ok_or(format!("{name} requires a value"));
+        match arg.as_str() {
+            "--app" => {
+                let v = value_for("--app")?;
+                flags.app = Some(AppKind::parse(&v).ok_or(format!(
+                    "unknown app {v:?} (try barnes-hut, fmm, water-spatial, moldyn, unstructured)"
+                ))?);
+            }
+            "--order" => {
+                let v = value_for("--order")?;
+                flags.order =
+                    Some(Method::ALL.into_iter().find(|m| m.name() == v).ok_or(format!(
+                        "unknown ordering {v:?} (try hilbert, morton, column, row)"
+                    ))?);
+            }
+            "--in" => flags.input = Some(PathBuf::from(value_for("--in")?)),
+            "--into" => {
+                let v = value_for("--into")?;
+                flags.target = Some(
+                    ReplayTarget::parse(&v)
+                        .ok_or(format!("unknown replay target {v:?} (try sim or dsm)"))?,
+                );
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    Ok((flags, rest))
+}
+
+fn run_trace(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first().map(String::as_str) else {
+        return Err("`xp trace` needs an action: record, replay or info".to_string());
+    };
+    let (flags, rest) = split_trace_flags(&args[1..])?;
+    let options = parse_options(&rest)?;
+    // Validate the output path before any recording or decoding runs (for `record`
+    // the --out path is the corpus itself and record() prepares it).
+    if action != "record" {
+        if let Some(out) = &options.out {
+            trace_cmd::ensure_parent_dir(out)?;
+        }
+    }
+    match action {
+        "record" => {
+            let app = flags.app.ok_or("`xp trace record` needs --app <name>")?;
+            let out = options
+                .out
+                .clone()
+                .ok_or("`xp trace record` needs --out <corpus-path> for the corpus file")?;
+            let result = trace_cmd::record(app, flags.order, &options.config, &out)?;
+            // --out is the corpus itself; the stats table goes to stdout.
+            emit(&result.render(options.format), None)
+        }
+        "replay" => {
+            let input = flags.input.ok_or("`xp trace replay` needs --in <corpus-path>")?;
+            let target = flags.target.unwrap_or(ReplayTarget::Sim);
+            let result = trace_cmd::replay(&input, target, &options.config)?;
+            emit(&result.render(options.format), options.out.as_deref())
+        }
+        "info" => {
+            let input = flags.input.ok_or("`xp trace info` needs --in <corpus-path>")?;
+            let result = trace_cmd::info(&input, &options.config)?;
+            emit(&result.render(options.format), options.out.as_deref())
+        }
+        other => Err(format!("unknown trace action {other:?} (try record, replay or info)")),
+    }
+}
+
 fn run_one(spec: &ExperimentSpec, options: &Options) -> Result<(), String> {
     let result = spec.execute(&options.config);
     emit(&result.render(options.format), options.out.as_deref())
@@ -166,6 +262,12 @@ fn main() -> ExitCode {
         print_list();
         return ExitCode::SUCCESS;
     }
+    if command == "trace" {
+        return match run_trace(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => fail(&message),
+        };
+    }
 
     // Subcommands that name an experiment, then take shared options.
     let (spec_name, rest): (String, &[String]) = match command {
@@ -189,6 +291,17 @@ fn main() -> ExitCode {
         Ok(options) => options,
         Err(message) => return fail(&message),
     };
+
+    // Create (or reject) the --out location before the experiment runs — a bad path
+    // should fail in milliseconds, not after minutes of simulation.  `sweep` treats
+    // --out as a directory and prepares it itself.
+    if command != "sweep" {
+        if let Some(out) = &options.out {
+            if let Err(message) = trace_cmd::ensure_parent_dir(out) {
+                return fail(&message);
+            }
+        }
+    }
 
     let outcome = if command == "sweep" {
         run_sweep(&options)

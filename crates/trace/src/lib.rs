@@ -30,7 +30,11 @@
 //! * [`UnitAccessSets`] / [`UnitSetsSink`] — reduction of an interval's accesses to
 //!   per-consistency-unit read/write sets (the quantity false sharing is defined
 //!   over), available both from a materialized interval and incrementally from the
-//!   stream.
+//!   stream;
+//! * [`CorpusWriter`] / [`CorpusReader`] — the on-disk form of the stream: a
+//!   delta/varint-encoded, checksummed block format ([`codec`]) that records a run
+//!   once and replays it into any sink at decode bandwidth, event-for-event identical
+//!   to live generation.
 //!
 //! The benchmark applications (`nbody`, `molecular`, `unstructured`) are written so that
 //! the *same* partitioned computation both runs in parallel with rayon (for wall-clock
@@ -63,6 +67,7 @@
 #![forbid(unsafe_code)]
 
 pub mod access;
+pub mod codec;
 pub mod layout;
 pub mod sets;
 pub mod shard;
@@ -70,8 +75,9 @@ pub mod sink;
 pub mod trace;
 
 pub use access::{Access, AccessKind};
+pub use codec::{CodecError, CorpusReader, CorpusSummary, CorpusWriter};
 pub use layout::{ConsistencyGranularity, ObjectLayout};
 pub use sets::{SharingHistogram, UnitAccessSets};
 pub use shard::{Shard, ShardSet};
-pub use sink::{IntervalUnitSets, TeeSink, TraceSink, UnitSetsSink};
+pub use sink::{IntervalUnitSets, NullSink, TeeSink, TraceSink, UnitSetsSink};
 pub use trace::{IntervalTrace, ProgramTrace, SyncEvent, TraceBuilder};

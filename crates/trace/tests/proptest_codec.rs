@@ -1,0 +1,265 @@
+//! Property tests for the corpus codec, in two layers:
+//!
+//! 1. the [`smtrace::codec::wire`] primitives (varint, zig-zag, delta) round-trip over
+//!    arbitrary values — independent of the block framing;
+//! 2. corpus record→decode reproduces the exact [`ProgramTrace`] (and unit-set
+//!    reduction) that driving the same event stream into the sinks directly produces,
+//!    over arbitrary event scripts.
+
+use proptest::prelude::*;
+use smtrace::codec::{wire, CorpusReader, CorpusWriter};
+use smtrace::{Access, ObjectLayout, TraceBuilder, TraceSink, UnitSetsSink};
+
+// ---------------------------------------------------------------------------
+// Layer 1: wire primitives.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn varint_round_trips_any_u64(v in any::<u64>()) {
+        let mut buf = Vec::new();
+        wire::write_varint(&mut buf, v);
+        prop_assert!(buf.len() <= 10);
+        let mut input = buf.as_slice();
+        prop_assert_eq!(wire::read_varint(&mut input, "test").unwrap(), v);
+        prop_assert!(input.is_empty(), "decode must consume the whole encoding");
+    }
+
+    #[test]
+    fn zigzag_round_trips_any_i64(v in any::<i64>()) {
+        prop_assert_eq!(wire::zigzag_decode(wire::zigzag_encode(v)), v);
+    }
+
+    #[test]
+    fn zigzag_keeps_small_magnitudes_small(v in -1_000_000i64..1_000_000) {
+        let encoded = wire::zigzag_encode(v);
+        prop_assert!(encoded <= 2 * v.unsigned_abs());
+    }
+
+    #[test]
+    fn varint_sequences_round_trip(values in prop::collection::vec(any::<u64>(), 0..64)) {
+        let mut buf = Vec::new();
+        for &v in &values {
+            wire::write_varint(&mut buf, v);
+        }
+        let mut input = buf.as_slice();
+        for &v in &values {
+            prop_assert_eq!(wire::read_varint(&mut input, "test").unwrap(), v);
+        }
+        prop_assert!(input.is_empty());
+    }
+}
+
+const MAX_OBJECT_U32: u32 = Access::MAX_OBJECT as u32;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn deltas_round_trip_any_u32_sequence(
+        objects in prop::collection::vec(0u32..=MAX_OBJECT_U32, 0..200),
+    ) {
+        let mut buf = Vec::new();
+        wire::encode_deltas(objects.iter().copied(), &mut buf);
+        let mut input = buf.as_slice();
+        let mut decoded = Vec::new();
+        wire::decode_deltas(&mut input, objects.len(), MAX_OBJECT_U32, &mut decoded).unwrap();
+        prop_assert_eq!(decoded, objects);
+        prop_assert!(input.is_empty());
+    }
+
+    #[test]
+    fn deltas_round_trip_boundary_swings(
+        selectors in prop::collection::vec(0u8..4, 1..64),
+    ) {
+        // Adjacent values jumping between 0 and MAX_OBJECT exercise the widest
+        // positive and negative deltas the encoding can produce.
+        let objects: Vec<u32> = selectors
+            .iter()
+            .map(|s| match s {
+                0 => 0,
+                1 => MAX_OBJECT_U32,
+                2 => 1,
+                _ => MAX_OBJECT_U32 - 1,
+            })
+            .collect();
+        let mut buf = Vec::new();
+        wire::encode_deltas(objects.iter().copied(), &mut buf);
+        let mut input = buf.as_slice();
+        let mut decoded = Vec::new();
+        wire::decode_deltas(&mut input, objects.len(), MAX_OBJECT_U32, &mut decoded).unwrap();
+        prop_assert_eq!(decoded, objects);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The payload checksum is deterministic and any single-bit flip changes it —
+    /// the property the corruption battery and CI artifact diffs lean on.
+    #[test]
+    fn checksum_detects_single_bit_flips(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        flip_at in any::<u16>(),
+        flip_bit in 0u8..8,
+    ) {
+        prop_assert_eq!(wire::payload_checksum(&bytes), wire::payload_checksum(&bytes));
+        if !bytes.is_empty() {
+            let mut flipped = bytes.clone();
+            flipped[flip_at as usize % bytes.len()] ^= 1 << flip_bit;
+            prop_assert_ne!(wire::payload_checksum(&bytes), wire::payload_checksum(&flipped));
+        }
+    }
+}
+
+#[test]
+fn checksum_distinguishes_lengths_of_zeros() {
+    // The length is mixed into the seed, so zero-padded tails cannot alias shorter
+    // all-zero payloads.
+    let sums: Vec<u32> = (0..=16).map(|len| wire::payload_checksum(&vec![0u8; len])).collect();
+    for (i, a) in sums.iter().enumerate() {
+        for (j, b) in sums.iter().enumerate() {
+            if i != j {
+                assert_ne!(a, b, "zero payloads of lengths {i} and {j} collide");
+            }
+        }
+    }
+}
+
+#[test]
+fn varint_encoding_is_minimal_for_small_values() {
+    for v in 0u64..128 {
+        let mut buf = Vec::new();
+        wire::write_varint(&mut buf, v);
+        assert_eq!(buf.len(), 1, "value {v} must encode in one byte");
+    }
+    let mut buf = Vec::new();
+    wire::write_varint(&mut buf, 128);
+    assert_eq!(buf.len(), 2);
+}
+
+// ---------------------------------------------------------------------------
+// Layer 2: corpus round-trip ≡ direct sink drive, over arbitrary event scripts.
+// ---------------------------------------------------------------------------
+
+/// One sampled event script step: interpreted from (selector, proc, object) draws.
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Read(usize, usize),
+    Write(usize, usize),
+    Lock(usize, u32),
+    Barrier,
+}
+
+fn interpret(raw: &[(u8, u8, u32)], num_procs: usize, num_objects: usize) -> Vec<Event> {
+    raw.iter()
+        .map(|&(selector, proc, object)| {
+            let proc = proc as usize % num_procs;
+            let object = object as usize % num_objects;
+            match selector % 10 {
+                0..=4 => Event::Read(proc, object),
+                5..=7 => Event::Write(proc, object),
+                8 => Event::Lock(proc, object as u32),
+                _ => Event::Barrier,
+            }
+        })
+        .collect()
+}
+
+fn drive(sink: &mut dyn TraceSink, events: &[Event]) {
+    for &e in events {
+        match e {
+            Event::Read(p, o) => sink.read(p, o),
+            Event::Write(p, o) => sink.write(p, o),
+            Event::Lock(p, l) => sink.lock(p, l),
+            Event::Barrier => sink.barrier(),
+        }
+    }
+}
+
+fn round_trip(layout: &ObjectLayout, num_procs: usize, events: &[Event]) -> Vec<u8> {
+    let mut writer = CorpusWriter::new(Vec::new(), layout.clone(), num_procs).unwrap();
+    drive(&mut writer, events);
+    let (bytes, _) = writer.finish_into_inner().unwrap();
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn corpus_decode_reproduces_the_program_trace(
+        raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 0..400),
+        num_procs in 1usize..5,
+    ) {
+        let layout = ObjectLayout::new(96, 64);
+        let events = interpret(&raw, num_procs, layout.num_objects);
+
+        let mut direct = TraceBuilder::new(layout.clone(), num_procs);
+        drive(&mut direct, &events);
+        let expected = direct.finish();
+
+        let bytes = round_trip(&layout, num_procs, &events);
+        let mut reader = CorpusReader::new(bytes.as_slice()).unwrap();
+        prop_assert_eq!(reader.num_procs(), num_procs);
+        prop_assert_eq!(reader.layout(), &layout);
+        let mut builder = TraceBuilder::new(layout.clone(), num_procs);
+        let summary = reader.replay_into(&mut builder).unwrap();
+        let decoded = builder.finish();
+
+        prop_assert_eq!(&decoded, &expected);
+        prop_assert_eq!(summary.accesses, expected.total_accesses() as u64);
+        prop_assert_eq!(summary.barriers, expected.num_barriers() as u64);
+        prop_assert_eq!(summary.file_bytes, bytes.len() as u64);
+    }
+
+    #[test]
+    fn corpus_decode_reproduces_the_unit_set_reduction(
+        raw in prop::collection::vec((any::<u8>(), any::<u8>(), any::<u32>()), 0..300),
+        num_procs in 1usize..4,
+    ) {
+        let layout = ObjectLayout::new(64, 96);
+        let events = interpret(&raw, num_procs, layout.num_objects);
+
+        let mut direct = UnitSetsSink::new(layout.clone(), num_procs, 512);
+        drive(&mut direct, &events);
+        let expected = direct.finish();
+
+        let bytes = round_trip(&layout, num_procs, &events);
+        let mut reader = CorpusReader::new(bytes.as_slice()).unwrap();
+        let mut streamed = UnitSetsSink::new(layout.clone(), num_procs, 512);
+        reader.replay_into(&mut streamed).unwrap();
+        let decoded = streamed.finish();
+
+        prop_assert_eq!(decoded.len(), expected.len());
+        for (d, e) in decoded.iter().zip(&expected) {
+            prop_assert_eq!(&d.per_proc, &e.per_proc);
+            prop_assert_eq!(&d.lock_acquisitions, &e.lock_acquisitions);
+            prop_assert_eq!(&d.accesses, &e.accesses);
+        }
+    }
+}
+
+#[test]
+fn corpus_round_trips_accesses_at_the_object_boundary() {
+    // MAX_OBJECT produces the widest deltas and the largest zig-zag varints; make sure
+    // the full writer→reader path (not just the primitives) handles the extremes.
+    let layout = ObjectLayout::new(Access::MAX_OBJECT + 1, 4);
+    let mut writer = CorpusWriter::new(Vec::new(), layout.clone(), 2).unwrap();
+    writer.read(0, Access::MAX_OBJECT);
+    writer.write(0, 0);
+    writer.write(1, Access::MAX_OBJECT);
+    writer.barrier();
+    writer.read(1, Access::MAX_OBJECT - 1);
+    let (bytes, _) = writer.finish_into_inner().unwrap();
+
+    let mut reader = CorpusReader::new(bytes.as_slice()).unwrap();
+    let mut builder = TraceBuilder::new(layout, 2);
+    reader.replay_into(&mut builder).unwrap();
+    let trace = builder.finish();
+    assert_eq!(trace.intervals[0].accesses[0][0], Access::read(Access::MAX_OBJECT));
+    assert_eq!(trace.intervals[0].accesses[1][0], Access::write(Access::MAX_OBJECT));
+    assert_eq!(trace.intervals[1].accesses[1][0], Access::read(Access::MAX_OBJECT - 1));
+}
