@@ -1277,7 +1277,7 @@ fn run_bench_trace_throughput(cfg: &RunConfig) -> Vec<Row> {
             let mut writer = CorpusWriter::create(&corpus_path, layout.clone(), procs)
                 .expect("create trace corpus");
             live.stream_sharded(iters, &mut writer);
-            writer.finish().expect("write trace corpus")
+            writer.finish_durable().expect("write trace corpus")
         };
 
         // The two paths, interleaved: alternating live/replay repetitions sample the

@@ -10,9 +10,22 @@
 //! Independent cells of an experiment's method × workload × substrate matrix are
 //! executed in parallel via [`run_cells`] (rayon worker threads, order-preserving),
 //! and results render as aligned text, JSON, or CSV via [`ExperimentResult::render`].
+//!
+//! # Fault isolation
+//!
+//! Each cell attempt runs inside `catch_unwind` on a pool worker, so one panicking
+//! or failing cell can no longer abort a whole experiment: the runner classifies
+//! every cell into a [`CellOutcome`] (ok / failed / panicked / timed-out against a
+//! wall-clock watchdog), retries failures with bounded deterministic backoff
+//! ([`FaultPolicy`]), and ships the surviving rows plus a failure summary through
+//! every output format.  See DESIGN.md §13 for the full fault model, including why
+//! the executor's panic-propagation contract keeps sibling cells and later retry
+//! rounds deadlock-free.
 
+use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
@@ -168,10 +181,36 @@ impl ExperimentSpec {
         self.id == name || self.aliases.contains(&name)
     }
 
-    /// Execute the spec, timing it.
+    /// Execute the spec, timing it, with the fault policy from the environment
+    /// (`XP_CELL_ATTEMPTS` / `XP_CELL_BACKOFF_MS` / `XP_CELL_TIMEOUT_MS`).
     pub fn execute(&self, config: &RunConfig) -> ExperimentResult {
+        self.execute_with_policy(config, FaultPolicy::from_env())
+    }
+
+    /// Execute the spec under an explicit [`FaultPolicy`]: a fault collector is
+    /// installed around the `run` function, so every [`run_cells`] call inside it
+    /// retries under `policy` and reports its [`CellOutcome`]s into the result
+    /// instead of aborting the experiment.
+    pub fn execute_with_policy(&self, config: &RunConfig, policy: FaultPolicy) -> ExperimentResult {
+        // Restore the previous collector even if `run` panics (a spec-level panic,
+        // not a cell failure — those are caught at the attempt boundary).
+        struct Restore(Option<FaultLog>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let previous = self.0.take();
+                FAULT_LOG.with(|log| *log.borrow_mut() = previous);
+            }
+        }
         let t0 = Instant::now();
+        let _restore = Restore(
+            FAULT_LOG
+                .with(|log| log.borrow_mut().replace(FaultLog { policy, outcomes: Vec::new() })),
+        );
         let rows = (self.run)(config);
+        let cell_faults = FAULT_LOG
+            .with(|log| log.borrow_mut().take())
+            .map(|log| log.outcomes)
+            .unwrap_or_default();
         for row in &rows {
             assert_eq!(
                 row.cells.len(),
@@ -189,6 +228,7 @@ impl ExperimentSpec {
             notes: self.notes,
             config: *config,
             rows,
+            cell_faults,
             elapsed_seconds: t0.elapsed().as_secs_f64(),
         }
     }
@@ -241,11 +281,36 @@ pub struct ExperimentResult {
     pub config: RunConfig,
     /// Data rows.
     pub rows: Vec<Row>,
+    /// Interesting cell outcomes (failures and retry-recoveries); empty for a
+    /// clean run, in which case every render is byte-identical to the
+    /// pre-fault-model output.
+    pub cell_faults: Vec<CellOutcome>,
     /// Wall-clock cost of producing the rows.
     pub elapsed_seconds: f64,
 }
 
 impl ExperimentResult {
+    /// Cells that terminally failed (every retry exhausted); recovered cells
+    /// (ok after >1 attempts) are tracked in `cell_faults` but not counted here.
+    pub fn failed_cells(&self) -> usize {
+        self.cell_faults.iter().filter(|o| o.status != CellStatus::Ok).count()
+    }
+
+    /// `Some(reason)` when any cell terminally failed — what `xp` prints before
+    /// exiting nonzero so CI cannot mistake partial results for a clean run.
+    pub fn failure_error(&self) -> Option<String> {
+        let first = self.cell_faults.iter().find(|o| o.status != CellStatus::Ok)?;
+        Some(format!(
+            "experiment {:?}: {} cell(s) failed (first: cell {} {} after {} attempts: {})",
+            self.id,
+            self.failed_cells(),
+            first.cell,
+            first.status.name(),
+            first.attempts,
+            first.error.as_deref().unwrap_or("no error message")
+        ))
+    }
+
     /// Render in the requested format.
     pub fn render(&self, format: Format) -> String {
         match format {
@@ -280,6 +345,31 @@ impl ExperimentResult {
             let _ = writeln!(out);
             for note in self.notes {
                 let _ = writeln!(out, "{note}");
+            }
+        }
+        if !self.cell_faults.is_empty() {
+            let _ = writeln!(out, "\ncell faults ({} failed):", self.failed_cells());
+            for outcome in &self.cell_faults {
+                match &outcome.error {
+                    Some(error) => {
+                        let _ = writeln!(
+                            out,
+                            "  cell {}: {} after {} attempts ({:.2}s): {}",
+                            outcome.cell,
+                            outcome.status.name(),
+                            outcome.attempts,
+                            outcome.elapsed_seconds,
+                            error
+                        );
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "  cell {}: recovered on attempt {} ({:.2}s)",
+                            outcome.cell, outcome.attempts, outcome.elapsed_seconds
+                        );
+                    }
+                }
             }
         }
         let _ = writeln!(
@@ -324,6 +414,28 @@ impl ExperimentResult {
             let _ = writeln!(out, "    {{{}}}{comma}", fields.join(", "));
         }
         out.push_str("  ],\n");
+        if !self.cell_faults.is_empty() {
+            let _ = writeln!(out, "  \"cells_failed\": {},", self.failed_cells());
+            out.push_str("  \"cell_faults\": [\n");
+            for (i, outcome) in self.cell_faults.iter().enumerate() {
+                let error = match &outcome.error {
+                    Some(error) => json_string(error),
+                    None => "null".to_string(),
+                };
+                let comma = if i + 1 < self.cell_faults.len() { "," } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {{\"cell\": {}, \"status\": {}, \"attempts\": {}, \
+                     \"elapsed_seconds\": {}, \"error\": {}}}{comma}",
+                    outcome.cell,
+                    json_string(outcome.status.name()),
+                    outcome.attempts,
+                    json_f64(outcome.elapsed_seconds),
+                    error
+                );
+            }
+            out.push_str("  ],\n");
+        }
         let _ = writeln!(
             out,
             "  \"notes\": [{}]",
@@ -343,21 +455,300 @@ impl ExperimentResult {
                 row.cells.iter().map(Value::as_csv).collect::<Vec<_>>().join(",")
             );
         }
+        // Fault trailer: `#`-prefixed comment lines so existing CSV consumers that
+        // split on the header keep working, while a partial result is still visibly
+        // partial in the artifact itself.
+        for outcome in &self.cell_faults {
+            let _ = writeln!(
+                out,
+                "# cell-fault,cell={},status={},attempts={},error={}",
+                outcome.cell,
+                outcome.status.name(),
+                outcome.attempts,
+                csv_field(&outcome.error.clone().unwrap_or_default().replace('\n', " "))
+            );
+        }
         out
     }
+}
+
+/// How one cell of an experiment ended up, after all retries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell produced rows (possibly only after a retry — see
+    /// [`CellOutcome::attempts`]).
+    Ok,
+    /// The cell reported a failure (today only injectable via the `runner/cell`
+    /// failpoint; the variant is the hook the `xp serve` job queue will use for
+    /// fallible cell bodies).
+    Failed,
+    /// The cell panicked; the unwind was caught at the attempt boundary.
+    Panicked,
+    /// The cell finished but blew its wall-clock budget, so its rows were
+    /// discarded and the attempt retried (classify-and-retry, not preemption —
+    /// see DESIGN.md §13).
+    TimedOut,
+}
+
+impl CellStatus {
+    /// Stable lowercase name used by every output format.
+    pub fn name(self) -> &'static str {
+        match self {
+            CellStatus::Ok => "ok",
+            CellStatus::Failed => "failed",
+            CellStatus::Panicked => "panicked",
+            CellStatus::TimedOut => "timed-out",
+        }
+    }
+}
+
+/// Per-cell fault record: what happened to cell `cell` across its attempts.
+///
+/// Only *interesting* outcomes are kept (anything not first-attempt-ok): a clean
+/// experiment carries an empty fault list and renders byte-identically to the
+/// pre-fault-model harness.
+#[derive(Debug, Clone)]
+pub struct CellOutcome {
+    /// Index of the cell in the `run_cells` input order.
+    pub cell: usize,
+    /// Final classification after the last attempt.
+    pub status: CellStatus,
+    /// Attempts consumed (1..=`FaultPolicy::max_attempts`).
+    pub attempts: u32,
+    /// The last attempt's failure message (`None` once a retry succeeded).
+    pub error: Option<String>,
+    /// Wall-clock seconds of the last attempt.
+    pub elapsed_seconds: f64,
+}
+
+/// Retry/backoff/watchdog knobs for guarded cell execution.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPolicy {
+    /// Attempts per cell before it is reported as failed (≥ 1).
+    pub max_attempts: u32,
+    /// Base backoff slept before retry round `r` (doubling each round: the delay
+    /// schedule is a pure function of the policy, so reruns are deterministic).
+    pub backoff: Duration,
+    /// Wall-clock budget per attempt; `None` disables the watchdog.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy { max_attempts: 3, backoff: Duration::from_millis(25), timeout: None }
+    }
+}
+
+impl FaultPolicy {
+    /// Defaults overridden by `XP_CELL_ATTEMPTS`, `XP_CELL_BACKOFF_MS`, and
+    /// `XP_CELL_TIMEOUT_MS` (0 disables the watchdog).
+    pub fn from_env() -> Self {
+        let mut policy = FaultPolicy::default();
+        if let Some(v) = env_u64("XP_CELL_ATTEMPTS") {
+            policy.max_attempts = v.clamp(1, 1000) as u32;
+        }
+        if let Some(v) = env_u64("XP_CELL_BACKOFF_MS") {
+            policy.backoff = Duration::from_millis(v);
+        }
+        if let Some(v) = env_u64("XP_CELL_TIMEOUT_MS") {
+            policy.timeout = (v > 0).then(|| Duration::from_millis(v));
+        }
+        policy
+    }
+
+    /// Backoff before retry round `attempt` (the second attempt is round 2):
+    /// `backoff * 2^(attempt - 2)`, shift-capped so pathological attempt counts
+    /// cannot overflow.
+    fn backoff_before(&self, attempt: u32) -> Duration {
+        self.backoff * (1u32 << (attempt.saturating_sub(2)).min(10))
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// The per-experiment fault collector [`ExperimentSpec::execute`] installs around
+/// its `run` function.  Thread-local because specs call [`run_cells`] on the
+/// executing thread (the pool supervises *within* a `run_cells` call, never
+/// across one), so nested experiments on other threads cannot cross-contaminate.
+struct FaultLog {
+    policy: FaultPolicy,
+    outcomes: Vec<CellOutcome>,
+}
+
+thread_local! {
+    static FAULT_LOG: RefCell<Option<FaultLog>> = const { RefCell::new(None) };
 }
 
 /// Execute one experiment function per cell on rayon worker threads, flattening the
 /// produced rows in cell order.
 ///
 /// This is the parallelism point of the harness: a spec builds the independent cells
-/// of its method × workload × substrate matrix and the runner fans them out.
+/// of its method × workload × substrate matrix and the runner fans them out.  Every
+/// cell attempt is guarded (`catch_unwind` + watchdog + bounded retry — see
+/// [`run_cells_with_policy`]); a terminally failed cell contributes no rows.  Inside
+/// [`ExperimentSpec::execute`] the outcomes land in the result's fault list; for
+/// direct callers with no collector installed, a terminal failure panics with the
+/// cell's classification instead of silently dropping data — the legacy abort-loudly
+/// contract.
 pub fn run_cells<C, F>(cells: Vec<C>, f: F) -> Vec<Row>
+where
+    C: Clone + Send,
+    F: Fn(C) -> Vec<Row> + Sync,
+{
+    let policy = FAULT_LOG
+        .with(|log| log.borrow().as_ref().map(|log| log.policy))
+        .unwrap_or_else(FaultPolicy::from_env);
+    let (rows, outcomes) = run_cells_with_policy(cells, policy, f);
+    if outcomes.is_empty() {
+        return rows;
+    }
+    let collected = FAULT_LOG.with(|log| match log.borrow_mut().as_mut() {
+        Some(log) => {
+            log.outcomes.extend(outcomes.iter().cloned());
+            true
+        }
+        None => false,
+    });
+    if !collected {
+        if let Some(worst) = outcomes.iter().find(|o| o.status != CellStatus::Ok) {
+            panic!(
+                "cell {} {} after {} attempts: {}",
+                worst.cell,
+                worst.status.name(),
+                worst.attempts,
+                worst.error.as_deref().unwrap_or("no error message")
+            );
+        }
+    }
+    rows
+}
+
+/// Guarded parallel cell execution with an explicit [`FaultPolicy`], returning the
+/// surviving rows (cell input order preserved) plus the interesting outcomes
+/// (anything that was not first-attempt-ok).
+///
+/// Round structure: round 1 fans every cell out across the pool; each later round
+/// sleeps the policy's deterministic backoff, then retries only the cells that
+/// failed, panicked, or timed out.  Attempts run under `catch_unwind`, leaning on
+/// the executor's panic contract (DESIGN.md §7): a panicking cell's siblings run to
+/// completion, the original payload is rethrown at the attempt boundary where the
+/// guard catches it, and the pool survives for the next round — proven by the
+/// nested `join`/`par_iter` tests in `tests/runner_faults.rs`.
+pub fn run_cells_with_policy<C, F>(
+    cells: Vec<C>,
+    policy: FaultPolicy,
+    f: F,
+) -> (Vec<Row>, Vec<CellOutcome>)
+where
+    C: Clone + Send,
+    F: Fn(C) -> Vec<Row> + Sync,
+{
+    let n = cells.len();
+    let mut slots: Vec<Option<Vec<Row>>> = (0..n).map(|_| None).collect();
+    let mut last_failure: Vec<Option<(CellStatus, String)>> = vec![None; n];
+    let mut attempts = vec![0u32; n];
+    let mut last_elapsed = vec![0.0f64; n];
+    let mut pending: Vec<usize> = (0..n).collect();
+    let mut round = 0u32;
+    while !pending.is_empty() && round < policy.max_attempts.max(1) {
+        round += 1;
+        if round > 1 {
+            std::thread::sleep(policy.backoff_before(round));
+        }
+        // Clone the retry cells on the supervising thread (cells stay `Clone + Send`,
+        // not `Sync`), then fan the attempts out.
+        let batch: Vec<(usize, C)> = pending.iter().map(|&i| (i, cells[i].clone())).collect();
+        let results = par_map(batch, |(i, cell)| (i, run_attempt(cell, &f, policy.timeout)));
+        pending.clear();
+        for (i, (result, elapsed)) in results {
+            attempts[i] = round;
+            last_elapsed[i] = elapsed;
+            match result {
+                Ok(rows) => {
+                    slots[i] = Some(rows);
+                    last_failure[i] = None;
+                }
+                Err(failure) => {
+                    last_failure[i] = Some(failure);
+                    pending.push(i);
+                }
+            }
+        }
+    }
+    let mut outcomes = Vec::new();
+    for i in 0..n {
+        let (status, error) = match &last_failure[i] {
+            None => (CellStatus::Ok, None),
+            Some((status, msg)) => (*status, Some(msg.clone())),
+        };
+        if status != CellStatus::Ok || attempts[i] > 1 {
+            outcomes.push(CellOutcome {
+                cell: i,
+                status,
+                attempts: attempts[i],
+                error,
+                elapsed_seconds: last_elapsed[i],
+            });
+        }
+    }
+    let rows = slots.into_iter().flatten().flatten().collect();
+    (rows, outcomes)
+}
+
+/// One guarded attempt: catch unwinds, classify explicit failures, and check the
+/// wall-clock watchdog.  Returns the classified result plus the attempt's elapsed
+/// seconds.
+///
+/// The watchdog *classifies*, it does not preempt: an attempt that exceeds its
+/// budget still runs to completion on the worker, then its rows are discarded and
+/// the cell is retried.  (Preemption needs process isolation, which is the
+/// `xp serve` follow-on; see DESIGN.md §13.)
+fn run_attempt<C, F>(
+    cell: C,
+    f: &F,
+    timeout: Option<Duration>,
+) -> (Result<Vec<Row>, (CellStatus, String)>, f64)
 where
     C: Send,
     F: Fn(C) -> Vec<Row> + Sync,
 {
-    cells.into_par_iter().flat_map_iter(f).collect()
+    let start = Instant::now();
+    let caught: std::thread::Result<Result<Vec<Row>, String>> =
+        catch_unwind(AssertUnwindSafe(|| {
+            failpoint::point!("runner/cell", |msg: String| Err(msg));
+            Ok(f(cell))
+        }));
+    let elapsed = start.elapsed();
+    let result = match caught {
+        Ok(Ok(rows)) => match timeout.filter(|budget| elapsed > *budget) {
+            Some(budget) => Err((
+                CellStatus::TimedOut,
+                format!(
+                    "attempt took {:.1} ms against a {:.1} ms budget",
+                    elapsed.as_secs_f64() * 1e3,
+                    budget.as_secs_f64() * 1e3
+                ),
+            )),
+            None => Ok(rows),
+        },
+        Ok(Err(msg)) => Err((CellStatus::Failed, msg)),
+        Err(payload) => Err((CellStatus::Panicked, panic_message(payload.as_ref()))),
+    };
+    (result, elapsed.as_secs_f64())
+}
+
+/// Best-effort text of a caught panic payload (`&str` and `String` payloads cover
+/// `panic!`; anything else is reported as opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
 }
 
 /// Map one experiment function per cell on rayon worker threads, preserving order

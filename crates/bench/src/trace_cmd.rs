@@ -1,21 +1,27 @@
-//! `xp trace` — record, replay and inspect on-disk trace corpora.
+//! `xp trace` — record, replay, inspect and recover on-disk trace corpora.
 //!
 //! `record` streams a live application (any of the five, at any scale/procs/seed,
-//! optionally reordered) through a [`CorpusWriter`] straight to disk; `replay` decodes
-//! a corpus into the Origin 2000 simulator or the DSM page-history reduction at decode
-//! bandwidth; `info` validates a corpus end-to-end (checksums included) and reports
-//! block statistics and the compression ratio against the packed 4-byte in-memory
-//! stream.  All three return an [`ExperimentResult`] so the `xp` binary renders them
-//! with the same text/JSON/CSV machinery as every other experiment.
+//! optionally reordered) through a [`CorpusWriter`] straight to disk, staged through
+//! an atomic temp-file rename so a crash never publishes a partial corpus; `replay`
+//! decodes a corpus into the Origin 2000 simulator or the DSM page-history reduction
+//! at decode bandwidth (strictly by default, or salvaging the longest valid prefix
+//! with `--lenient`); `info` validates a corpus end-to-end (checksums included) and
+//! reports block statistics and the compression ratio against the packed 4-byte
+//! in-memory stream; `recover` salvages a damaged or killed-mid-write corpus (e.g.
+//! the `.tmp` staging file an interrupted `record` leaves behind) into a fresh valid
+//! corpus, reporting exactly what survived and what was lost.  All four return an
+//! [`ExperimentResult`] so the `xp` binary renders them with the same text/JSON/CSV
+//! machinery as every other experiment.
 
+use std::io::Read;
 use std::path::Path;
 use std::time::Instant;
 
 use dsm::{DsmConfig, HlrcSim, PageHistorySink, TreadMarksSim};
 use memsim::{OriginPreset, SimSink};
 use reorder::Method;
-use smtrace::codec::{CorpusReader, CorpusWriter};
-use smtrace::NullSink;
+use smtrace::codec::{CorpusReader, CorpusSummary, CorpusWriter};
+use smtrace::{NullSink, TraceSink};
 
 use crate::row;
 use crate::runner::{ExperimentResult, Row, RunConfig};
@@ -82,8 +88,11 @@ pub fn record(
     let mut writer = CorpusWriter::create(out, layout, procs)
         .map_err(|e| format!("cannot create corpus {}: {e}", out.display()))?;
     live.stream_sharded(iters, &mut writer);
-    let summary =
-        writer.finish().map_err(|e| format!("cannot write corpus {}: {e}", out.display()))?;
+    // `finish_durable` commits the staged `.tmp` into place only after a full flush
+    // and fsync: `out` either holds a complete, valid corpus or does not exist.
+    let summary = writer
+        .finish_durable()
+        .map_err(|e| format!("cannot write corpus {}: {e}", out.display()))?;
     let record_ms = record_t0.elapsed().as_secs_f64() * 1e3;
 
     let ordering = order.map_or(Ordering::Original, Ordering::Reordered);
@@ -122,40 +131,75 @@ pub fn record(
         ],
         notes: &[
             "record_ms covers generation + encode + write; the corpus replays through",
-            "`xp trace replay` bit-identically to live generation.",
+            "`xp trace replay` bit-identically to live generation.  The file is staged",
+            "through an atomic temp-file rename: a killed recording leaves only a",
+            "`.tmp` sibling, which `xp trace recover` salvages.",
         ],
         config: *config,
         rows,
+        cell_faults: Vec::new(),
         elapsed_seconds: t0.elapsed().as_secs_f64(),
     })
 }
 
+/// What a lenient decode reports about the damage: `(valid_bytes, lost_bytes, stop_reason)`.
+type SalvageReport = (u64, u64, String);
+
+/// Decode `reader` into `sink`: strictly (any corruption is an error) or leniently
+/// (salvage the longest valid block prefix).  Lenient decodes return
+/// `(valid_bytes, lost_bytes, stop_reason)` alongside the prefix summary.
+fn decode_into<R: Read, S: TraceSink + ?Sized>(
+    reader: &mut CorpusReader<R>,
+    sink: &mut S,
+    lenient: bool,
+    input: &Path,
+    file_bytes: u64,
+) -> Result<(CorpusSummary, Option<SalvageReport>), String> {
+    if lenient {
+        let outcome = reader.salvage_into(sink);
+        let lost = file_bytes.saturating_sub(outcome.valid_bytes);
+        let reason = outcome.stop_reason();
+        Ok((outcome.summary, Some((outcome.valid_bytes, lost, reason))))
+    } else {
+        let summary = reader
+            .replay_into(sink)
+            .map_err(|e| format!("corpus {} failed to decode: {e}", input.display()))?;
+        Ok((summary, None))
+    }
+}
+
+/// Columns appended to a replay row by `--lenient` decoding.
+const LENIENT_COLUMNS: [&str; 3] = ["valid_bytes", "lost_bytes", "stop"];
+
 /// `xp trace replay`: decode the corpus at `input` into the chosen substrate and
-/// report its counters plus decode-side throughput.
+/// report its counters plus decode-side throughput.  With `lenient`, a damaged
+/// corpus replays its longest valid block prefix instead of failing, and the row
+/// gains `valid_bytes` / `lost_bytes` / `stop` columns saying what was dropped.
 pub fn replay(
     input: &Path,
     target: ReplayTarget,
     config: &RunConfig,
+    lenient: bool,
 ) -> Result<ExperimentResult, String> {
     let t0 = Instant::now();
-    let open = || {
-        CorpusReader::open(input)
-            .map_err(|e| format!("cannot open corpus {}: {e}", input.display()))
-    };
-    let decode_err = |e| format!("corpus {} failed to decode: {e}", input.display());
-    let mut reader = open()?;
+    let file_bytes = std::fs::metadata(input)
+        .map_err(|e| format!("cannot stat corpus {}: {e}", input.display()))?
+        .len();
+    let mut reader = CorpusReader::open(input)
+        .map_err(|e| format!("cannot open corpus {}: {e}", input.display()))?;
     let procs = reader.num_procs();
     let layout = reader.layout().clone();
 
-    let (rows, columns): (Vec<Row>, &'static [&'static str]) = match target {
+    let (mut row, salvage, columns): (Row, _, &'static [&'static str]) = match target {
         ReplayTarget::Sim => {
             let mut sink = SimSink::new(OriginPreset::origin2000(procs).build_machine(), layout);
             let replay_t0 = Instant::now();
-            let summary = reader.replay_into(&mut sink).map_err(decode_err)?;
+            let (summary, salvage) =
+                decode_into(&mut reader, &mut sink, lenient, input, file_bytes)?;
             let result = sink.finish();
             let replay_ms = replay_t0.elapsed().as_secs_f64() * 1e3;
             (
-                vec![row![
+                row![
                     input.display().to_string(),
                     "sim",
                     procs,
@@ -165,31 +209,50 @@ pub fn replay(
                     result.l2_misses(),
                     result.tlb_misses(),
                     result.coherence_misses()
-                ]],
-                &[
-                    "corpus",
-                    "target",
-                    "procs",
-                    "accesses",
-                    "replay_ms",
-                    "maccess_s",
-                    "l2_misses",
-                    "tlb_misses",
-                    "coherence_misses",
                 ],
+                salvage,
+                if lenient {
+                    &[
+                        "corpus",
+                        "target",
+                        "procs",
+                        "accesses",
+                        "replay_ms",
+                        "maccess_s",
+                        "l2_misses",
+                        "tlb_misses",
+                        "coherence_misses",
+                        "valid_bytes",
+                        "lost_bytes",
+                        "stop",
+                    ]
+                } else {
+                    &[
+                        "corpus",
+                        "target",
+                        "procs",
+                        "accesses",
+                        "replay_ms",
+                        "maccess_s",
+                        "l2_misses",
+                        "tlb_misses",
+                        "coherence_misses",
+                    ]
+                },
             )
         }
         ReplayTarget::Dsm => {
             let dsm_config = DsmConfig::cluster(procs);
             let mut sink = PageHistorySink::new(layout, procs, dsm_config.page_bytes);
             let replay_t0 = Instant::now();
-            let summary = reader.replay_into(&mut sink).map_err(decode_err)?;
+            let (summary, salvage) =
+                decode_into(&mut reader, &mut sink, lenient, input, file_bytes)?;
             let history = sink.finish();
             let tmk = TreadMarksSim::new(dsm_config).run_history(&history);
             let hlrc = HlrcSim::new(dsm_config).run_history(&history);
             let replay_ms = replay_t0.elapsed().as_secs_f64() * 1e3;
             (
-                vec![row![
+                row![
                     input.display().to_string(),
                     "dsm",
                     procs,
@@ -200,32 +263,66 @@ pub fn replay(
                     tmk.stats.data_mbytes(),
                     hlrc.stats.messages,
                     hlrc.stats.data_mbytes()
-                ]],
-                &[
-                    "corpus",
-                    "target",
-                    "procs",
-                    "accesses",
-                    "replay_ms",
-                    "maccess_s",
-                    "tmk_messages",
-                    "tmk_mb",
-                    "hlrc_messages",
-                    "hlrc_mb",
                 ],
+                salvage,
+                if lenient {
+                    &[
+                        "corpus",
+                        "target",
+                        "procs",
+                        "accesses",
+                        "replay_ms",
+                        "maccess_s",
+                        "tmk_messages",
+                        "tmk_mb",
+                        "hlrc_messages",
+                        "hlrc_mb",
+                        "valid_bytes",
+                        "lost_bytes",
+                        "stop",
+                    ]
+                } else {
+                    &[
+                        "corpus",
+                        "target",
+                        "procs",
+                        "accesses",
+                        "replay_ms",
+                        "maccess_s",
+                        "tmk_messages",
+                        "tmk_mb",
+                        "hlrc_messages",
+                        "hlrc_mb",
+                    ]
+                },
             )
         }
     };
+    if let Some((valid, lost, reason)) = salvage {
+        row.cells.push(valid.into());
+        row.cells.push(lost.into());
+        row.cells.push(reason.into());
+        debug_assert_eq!(&columns[columns.len() - LENIENT_COLUMNS.len()..], &LENIENT_COLUMNS);
+    }
     Ok(ExperimentResult {
         id: "trace_replay",
         title: "Trace corpus replay (decode-bound, out-of-core)",
         columns,
-        notes: &[
-            "The decoded event stream is event-for-event identical to live generation,",
-            "so every counter matches what the generating run would have produced.",
-        ],
+        notes: if lenient {
+            &[
+                "Lenient replay salvages the longest valid block prefix of a damaged",
+                "corpus; valid_bytes/lost_bytes say what survived and stop names why",
+                "decoding stopped (\"clean end marker\" for an intact corpus).",
+            ]
+        } else {
+            &[
+                "The decoded event stream is event-for-event identical to live generation,",
+                "so every counter matches what the generating run would have produced.",
+            ]
+        },
         config: *config,
-        rows,
+        rows: vec![row],
+        cell_faults: Vec::new(),
         elapsed_seconds: t0.elapsed().as_secs_f64(),
     })
 }
@@ -287,6 +384,84 @@ pub fn info(input: &Path, config: &RunConfig) -> Result<ExperimentResult, String
         ],
         config: *config,
         rows,
+        cell_faults: Vec::new(),
+        elapsed_seconds: t0.elapsed().as_secs_f64(),
+    })
+}
+
+/// `xp trace recover`: salvage the longest valid block prefix of a damaged corpus
+/// (typically the `.tmp` staging file a killed `xp trace record` leaves behind) into
+/// a fresh, fully valid corpus at `out`, and report what survived and what was lost.
+///
+/// Fails only when the header itself is unreadable — there is nothing before the
+/// header to recover — or the recovered corpus cannot be written.
+pub fn recover(input: &Path, out: &Path, config: &RunConfig) -> Result<ExperimentResult, String> {
+    let t0 = Instant::now();
+    let file_bytes = std::fs::metadata(input)
+        .map_err(|e| format!("cannot stat corpus {}: {e}", input.display()))?
+        .len();
+    let mut reader = CorpusReader::open(input).map_err(|e| {
+        format!(
+            "cannot recover corpus {}: {e} (nothing precedes the header, so nothing is salvageable)",
+            input.display()
+        )
+    })?;
+    let procs = reader.num_procs();
+    let layout = reader.layout().clone();
+
+    ensure_parent_dir(out)?;
+    let recover_t0 = Instant::now();
+    let mut writer = CorpusWriter::create(out, layout, procs)
+        .map_err(|e| format!("cannot create recovered corpus {}: {e}", out.display()))?;
+    let outcome = reader.salvage_into(&mut writer);
+    let recovered = writer
+        .finish_durable()
+        .map_err(|e| format!("cannot write recovered corpus {}: {e}", out.display()))?;
+    let recover_ms = recover_t0.elapsed().as_secs_f64() * 1e3;
+
+    let lost_bytes = file_bytes.saturating_sub(outcome.valid_bytes);
+    let rows = vec![row![
+        input.display().to_string(),
+        out.display().to_string(),
+        file_bytes,
+        outcome.valid_bytes,
+        lost_bytes,
+        if outcome.is_intact() { "yes" } else { "no" },
+        outcome.stop_reason(),
+        outcome.summary.accesses,
+        outcome.summary.barriers,
+        outcome.summary.lock_acquisitions,
+        outcome.summary.access_blocks,
+        recovered.file_bytes,
+        recover_ms
+    ]];
+    Ok(ExperimentResult {
+        id: "trace_recover",
+        title: "Trace corpus recovery (salvage the longest valid block prefix)",
+        columns: &[
+            "corpus",
+            "recovered",
+            "input_bytes",
+            "valid_bytes",
+            "lost_bytes",
+            "intact",
+            "stop",
+            "accesses",
+            "barriers",
+            "locks",
+            "blocks",
+            "recovered_bytes",
+            "recover_ms",
+        ],
+        notes: &[
+            "The recovered file is a complete, strictly valid corpus: the input's",
+            "longest valid block prefix re-encoded bit-identically plus a clean end",
+            "marker.  lost_bytes counts input bytes past the last completed block;",
+            "stop names the corruption (or truncation) that ended the salvage scan.",
+        ],
+        config: *config,
+        rows,
+        cell_faults: Vec::new(),
         elapsed_seconds: t0.elapsed().as_secs_f64(),
     })
 }
@@ -325,10 +500,81 @@ mod tests {
         };
         assert!(bpa < 4.0, "corpus should beat the packed stream, got {bpa} B/access");
 
-        let sim = replay(&out, ReplayTarget::Sim, &config).expect("sim replay");
+        let sim = replay(&out, ReplayTarget::Sim, &config, false).expect("sim replay");
         assert_eq!(sim.columns[6], "l2_misses");
-        let dsm = replay(&out, ReplayTarget::Dsm, &config).expect("dsm replay");
+        let dsm = replay(&out, ReplayTarget::Dsm, &config, false).expect("dsm replay");
         assert_eq!(dsm.columns[6], "tmk_messages");
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn lenient_replay_of_an_intact_corpus_reports_nothing_lost() {
+        let out = temp_path("lenient-intact.smtc");
+        let config = tiny_config();
+        record(AppKind::Moldyn, None, &config, &out).expect("record");
+        let result = replay(&out, ReplayTarget::Sim, &config, true).expect("lenient replay");
+        let cols = result.columns;
+        assert_eq!(&cols[cols.len() - 3..], &["valid_bytes", "lost_bytes", "stop"]);
+        let cells = &result.rows[0].cells;
+        assert_eq!(cells[cells.len() - 2], crate::runner::Value::Int(0), "nothing lost");
+        assert_eq!(cells[cells.len() - 1], crate::runner::Value::Str("clean end marker".into()));
+        std::fs::remove_file(&out).ok();
+    }
+
+    #[test]
+    fn recover_salvages_a_truncated_corpus_into_a_strictly_valid_one() {
+        let dir = temp_path("recover-dir");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = dir.join("full.smtc");
+        let config = tiny_config();
+        record(AppKind::Fmm, None, &config, &full).expect("record");
+
+        // A killed recording is a truncation at an arbitrary byte: chop the corpus
+        // mid-stream, recover it, and strict-replay the recovered file.
+        let bytes = std::fs::read(&full).unwrap();
+        let cut = dir.join("cut.smtc.tmp");
+        std::fs::write(&cut, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let recovered = dir.join("recovered.smtc");
+        let result = recover(&cut, &recovered, &config).expect("recover");
+        // Columns: valid_bytes at 3, lost_bytes at 4, intact at 5, accesses at 7.
+        assert_eq!(result.columns[3], "valid_bytes");
+        let lost = match result.rows[0].cells[4] {
+            crate::runner::Value::Int(v) => v,
+            ref other => panic!("expected Int lost_bytes, got {other:?}"),
+        };
+        assert!(lost > 0, "a truncated corpus must report lost bytes");
+        assert_eq!(result.rows[0].cells[5], crate::runner::Value::Str("no".into()));
+
+        // Strict replay accepts the recovered corpus; lenient replay confirms intact.
+        replay(&recovered, ReplayTarget::Sim, &config, false).expect("strict replay");
+        let lenient = replay(&recovered, ReplayTarget::Sim, &config, true).expect("lenient");
+        let cells = &lenient.rows[0].cells;
+        assert_eq!(cells[cells.len() - 2], crate::runner::Value::Int(0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn recover_refuses_a_headerless_file() {
+        let dir = temp_path("recover-headerless");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let junk = dir.join("junk.smtc");
+        std::fs::write(&junk, b"xx").unwrap();
+        let err = recover(&junk, &dir.join("out.smtc"), &tiny_config()).unwrap_err();
+        assert!(err.contains("nothing is salvageable"), "got: {err}");
+        assert!(!dir.join("out.smtc").exists());
+        assert!(!dir.join("out.smtc.tmp").exists(), "no staging litter on refusal");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn record_leaves_no_staging_file_behind() {
+        let out = temp_path("durable.smtc");
+        record(AppKind::Moldyn, None, &tiny_config(), &out).expect("record");
+        assert!(out.is_file());
+        let tmp = out.with_extension("smtc.tmp");
+        assert!(!tmp.exists(), "commit must consume the staging file");
         std::fs::remove_file(&out).ok();
     }
 
@@ -345,7 +591,7 @@ mod tests {
     #[test]
     fn replay_of_a_missing_corpus_names_the_path() {
         let missing = temp_path("does-not-exist.smtc");
-        let err = replay(&missing, ReplayTarget::Sim, &tiny_config()).unwrap_err();
+        let err = replay(&missing, ReplayTarget::Sim, &tiny_config(), false).unwrap_err();
         assert!(err.contains("does-not-exist.smtc"), "error should name the path: {err}");
     }
 

@@ -1,0 +1,107 @@
+//! Fault injection at the runner's registered site (`runner/cell`): injected
+//! errors, panics and delays at the attempt boundary are classified, retried and
+//! reported exactly like organic ones, and the seeded n-of-m mode produces a
+//! reproducible failure schedule.
+//!
+//! Compiled only under `--features failpoints`.
+#![cfg(feature = "failpoints")]
+
+use std::sync::{Mutex, MutexGuard};
+use std::time::Duration;
+
+use repro_bench::row;
+use repro_bench::runner::{run_cells_with_policy, CellStatus, FaultPolicy};
+
+fn quick(max_attempts: u32) -> FaultPolicy {
+    FaultPolicy { max_attempts, backoff: Duration::ZERO, timeout: None }
+}
+
+/// Every test configures the same global `runner/cell` point, so they must not
+/// run concurrently with each other.
+fn serialize() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn an_injected_transient_error_is_retried_and_recovers() {
+    let _serial = serialize();
+    let _guard = failpoint::configure_guard("runner/cell", "1*return(injected once)").unwrap();
+    let (rows, outcomes) =
+        run_cells_with_policy(vec![0u32, 1, 2], quick(3), |cell| vec![row![cell as u64]]);
+    assert_eq!(rows.len(), 3, "the injected failure is transient, every cell completes");
+    assert_eq!(outcomes.len(), 1, "exactly one attempt drew the injected failure");
+    let outcome = &outcomes[0];
+    assert_eq!(outcome.status, CellStatus::Ok);
+    assert_eq!(outcome.attempts, 2);
+}
+
+#[test]
+fn an_injected_persistent_error_exhausts_retries_as_failed() {
+    let _serial = serialize();
+    let _guard = failpoint::configure_guard("runner/cell", "return(persistent fault)").unwrap();
+    let (rows, outcomes) =
+        run_cells_with_policy(vec![0u32, 1], quick(2), |cell| vec![row![cell as u64]]);
+    assert!(rows.is_empty(), "every attempt of every cell fails");
+    assert_eq!(outcomes.len(), 2);
+    for outcome in &outcomes {
+        assert_eq!(outcome.status, CellStatus::Failed, "injected errors classify as Failed");
+        assert_eq!(outcome.attempts, 2);
+        assert!(
+            outcome.error.as_deref().unwrap().contains("persistent fault"),
+            "got {:?}",
+            outcome.error
+        );
+    }
+}
+
+#[test]
+fn an_injected_panic_is_caught_at_the_attempt_boundary() {
+    let _serial = serialize();
+    let _guard = failpoint::configure_guard("runner/cell", "1*panic(injected crash)").unwrap();
+    let (rows, outcomes) =
+        run_cells_with_policy(vec![7u32], quick(2), |cell| vec![row![cell as u64]]);
+    assert_eq!(rows.len(), 1, "the panic was transient; the retry succeeds");
+    assert_eq!(outcomes.len(), 1);
+    assert_eq!(outcomes[0].status, CellStatus::Ok);
+    assert_eq!(outcomes[0].attempts, 2);
+}
+
+#[test]
+fn an_injected_delay_slows_but_never_fails_a_cell() {
+    let _serial = serialize();
+    let _guard = failpoint::configure_guard("runner/cell", "2*delay(5)").unwrap();
+    let (rows, outcomes) =
+        run_cells_with_policy(vec![0u32, 1], quick(2), |cell| vec![row![cell as u64]]);
+    assert_eq!(rows.len(), 2);
+    assert!(outcomes.is_empty(), "a delay is not a fault");
+}
+
+#[test]
+fn a_seeded_n_of_m_schedule_is_reproducible() {
+    // Single-threaded so the evaluation order is the cell order: the 2-of-4 mask
+    // then deterministically maps window positions to (cell, attempt) pairs, and
+    // two identically-seeded runs must classify every cell identically.
+    let _serial = serialize();
+    let run_once = || {
+        rayon::with_num_threads(1, || {
+            let _guard =
+                failpoint::configure_guard("runner/cell", "2/4@1234*return(scheduled)").unwrap();
+            let (rows, outcomes) = run_cells_with_policy(vec![0u32, 1, 2, 3], quick(3), |cell| {
+                vec![row![cell as u64]]
+            });
+            let summary: Vec<(usize, &'static str, u32)> =
+                outcomes.iter().map(|o| (o.cell, o.status.name(), o.attempts)).collect();
+            (rows.len(), summary)
+        })
+    };
+    let first = run_once();
+    let second = run_once();
+    assert_eq!(first, second, "the seeded schedule must be identical run to run");
+    assert!(!first.1.is_empty(), "a 2-of-4 schedule over 4 cells must hit something");
+    // 2 of every 4 evaluations fail; with up to 3 attempts per cell the retries land
+    // in later windows, where the mask keeps failing exactly half — but no cell can
+    // draw the short straw three times in a row and terminally fail unless the mask
+    // says so; either way the classification above is pinned byte-for-byte.
+    assert!(first.0 + first.1.iter().filter(|(_, status, _)| *status != "ok").count() >= 4 - 2);
+}

@@ -144,7 +144,8 @@ fn corpus_survives_the_disk_round_trip() {
     let mut live = initial.clone();
     let mut writer = CorpusWriter::create(&path, layout.clone(), procs).expect("create");
     live.stream_sharded(2, &mut writer);
-    let written = writer.finish().expect("finish");
+    // `create` stages through `<path>.tmp`; only the durable finish publishes `path`.
+    let written = writer.finish_durable().expect("finish");
 
     let mut reader = CorpusReader::open(&path).expect("open");
     assert_eq!(reader.layout(), &layout);

@@ -38,9 +38,10 @@ USAGE:
     xp run <id-or-alias>      [options]
     xp sweep                  [options]   run every experiment
     xp list                               list experiments
-    xp trace record --app <name> --out <corpus> [--order <method>] [options]
-    xp trace replay --in <corpus> [--into <sim|dsm>] [options]
-    xp trace info   --in <corpus> [options]
+    xp trace record  --app <name> --out <corpus> [--order <method>] [options]
+    xp trace replay  --in <corpus> [--into <sim|dsm>] [--lenient] [options]
+    xp trace info    --in <corpus> [options]
+    xp trace recover --in <corpus> --out <recovered> [options]
 
 OPTIONS:
     --format <text|json|csv>  output format (default: text)
@@ -54,8 +55,15 @@ OPTIONS:
 TRACE OPTIONS:
     --app <name>              barnes-hut | fmm | water-spatial | moldyn | unstructured
     --order <method>          hilbert | morton | column | row (record only)
-    --in <corpus>             corpus file to replay or inspect
+    --in <corpus>             corpus file to replay, inspect or recover
     --into <sim|dsm>          replay substrate (default: sim)
+    --lenient                 replay a damaged corpus's longest valid prefix
+                              instead of failing (reports what was lost)
+
+`xp trace recover` salvages a damaged corpus — typically the `.tmp` staging
+file a killed `xp trace record` leaves behind — into a fresh valid corpus.
+`xp` exits nonzero when any experiment cell fails, even though partial
+results are still rendered.
 ";
 
 struct Options {
@@ -141,6 +149,7 @@ struct TraceFlags {
     order: Option<Method>,
     input: Option<PathBuf>,
     target: Option<ReplayTarget>,
+    lenient: bool,
 }
 
 fn split_trace_flags(args: &[String]) -> Result<(TraceFlags, Vec<String>), String> {
@@ -165,6 +174,7 @@ fn split_trace_flags(args: &[String]) -> Result<(TraceFlags, Vec<String>), Strin
                     ))?);
             }
             "--in" => flags.input = Some(PathBuf::from(value_for("--in")?)),
+            "--lenient" => flags.lenient = true,
             "--into" => {
                 let v = value_for("--into")?;
                 flags.target = Some(
@@ -180,13 +190,13 @@ fn split_trace_flags(args: &[String]) -> Result<(TraceFlags, Vec<String>), Strin
 
 fn run_trace(args: &[String]) -> Result<(), String> {
     let Some(action) = args.first().map(String::as_str) else {
-        return Err("`xp trace` needs an action: record, replay or info".to_string());
+        return Err("`xp trace` needs an action: record, replay, info or recover".to_string());
     };
     let (flags, rest) = split_trace_flags(&args[1..])?;
     let options = parse_options(&rest)?;
     // Validate the output path before any recording or decoding runs (for `record`
-    // the --out path is the corpus itself and record() prepares it).
-    if action != "record" {
+    // and `recover` the --out path is the corpus itself and the command prepares it).
+    if action != "record" && action != "recover" {
         if let Some(out) = &options.out {
             trace_cmd::ensure_parent_dir(out)?;
         }
@@ -205,7 +215,7 @@ fn run_trace(args: &[String]) -> Result<(), String> {
         "replay" => {
             let input = flags.input.ok_or("`xp trace replay` needs --in <corpus-path>")?;
             let target = flags.target.unwrap_or(ReplayTarget::Sim);
-            let result = trace_cmd::replay(&input, target, &options.config)?;
+            let result = trace_cmd::replay(&input, target, &options.config, flags.lenient)?;
             emit(&result.render(options.format), options.out.as_deref())
         }
         "info" => {
@@ -213,13 +223,31 @@ fn run_trace(args: &[String]) -> Result<(), String> {
             let result = trace_cmd::info(&input, &options.config)?;
             emit(&result.render(options.format), options.out.as_deref())
         }
-        other => Err(format!("unknown trace action {other:?} (try record, replay or info)")),
+        "recover" => {
+            let input = flags.input.ok_or("`xp trace recover` needs --in <corpus-path>")?;
+            let out = options
+                .out
+                .clone()
+                .ok_or("`xp trace recover` needs --out <path> for the recovered corpus")?;
+            let result = trace_cmd::recover(&input, &out, &options.config)?;
+            // --out is the recovered corpus; the salvage report goes to stdout.
+            emit(&result.render(options.format), None)
+        }
+        other => {
+            Err(format!("unknown trace action {other:?} (try record, replay, info or recover)"))
+        }
     }
 }
 
 fn run_one(spec: &ExperimentSpec, options: &Options) -> Result<(), String> {
     let result = spec.execute(&options.config);
-    emit(&result.render(options.format), options.out.as_deref())
+    // Partial results still render (the failure summary is part of the artifact),
+    // but a terminally failed cell must not exit 0 — CI keys off the exit code.
+    emit(&result.render(options.format), options.out.as_deref())?;
+    match result.failure_error() {
+        Some(reason) => Err(reason),
+        None => Ok(()),
+    }
 }
 
 fn run_sweep(options: &Options) -> Result<(), String> {
@@ -228,14 +256,29 @@ fn run_sweep(options: &Options) -> Result<(), String> {
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
     // Experiments run one after another; each parallelizes its own cells across all
     // cores, so running two heavyweight experiments at once would only oversubscribe.
+    // A cell failure does not stop the sweep — every experiment still writes its
+    // artifact (with its failure summary) — but the sweep itself then exits nonzero.
+    let mut failures = Vec::new();
     for spec in experiments::all() {
         eprintln!("running {} ...", spec.id);
         let result = spec.execute(&options.config);
         let path = out_dir.join(format!("{}.{}", spec.id, options.format.extension()));
         emit(&result.render(options.format), Some(&path))?;
+        if let Some(reason) = result.failure_error() {
+            eprintln!("FAILED: {reason}");
+            failures.push(reason);
+        }
     }
     eprintln!("sweep complete: {} experiments in {}", experiments::all().len(), out_dir.display());
-    Ok(())
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} experiment(s) had failed cells:\n  {}",
+            failures.len(),
+            failures.join("\n  ")
+        ))
+    }
 }
 
 fn print_list() {

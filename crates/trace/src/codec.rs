@@ -52,10 +52,11 @@
 //! counts) *before* any event reaches the sink.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::path::Path;
 
 use crate::access::Access;
+use crate::durable::AtomicFile;
 use crate::layout::ObjectLayout;
 use crate::sink::TraceSink;
 
@@ -146,6 +147,45 @@ pub enum CodecError {
     /// The payload decoded inconsistently (run lengths vs count, trailing bytes,
     /// blocks out of canonical order, ...).
     Malformed(&'static str),
+    /// Any reader-side error above, wrapped with where decoding stopped: the index
+    /// of the block being decoded and the byte offset it starts at.  `xp trace info`
+    /// on a corrupt corpus can thus name the failing block, not just the failure.
+    At {
+        /// Zero-based index of the block being decoded when the error hit.
+        block: u64,
+        /// Byte offset (from the start of the corpus) of that block's first byte.
+        offset: u64,
+        /// The underlying structural error.
+        inner: Box<CodecError>,
+    },
+}
+
+impl CodecError {
+    /// Wrap `self` with block/offset context (no-op re-wrap is prevented: an
+    /// already-located error keeps its innermost, most precise location).
+    fn at_block(self, block: u64, offset: u64) -> CodecError {
+        match self {
+            located @ CodecError::At { .. } => located,
+            inner => CodecError::At { block, offset, inner: Box::new(inner) },
+        }
+    }
+
+    /// The underlying structural error, with any [`CodecError::At`] context peeled
+    /// off — what callers should match on when they care about the failure kind.
+    pub fn root(&self) -> &CodecError {
+        match self {
+            CodecError::At { inner, .. } => inner.root(),
+            other => other,
+        }
+    }
+
+    /// `(block index, byte offset)` context if this error carries any.
+    pub fn location(&self) -> Option<(u64, u64)> {
+        match self {
+            CodecError::At { block, offset, .. } => Some((*block, *offset)),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for CodecError {
@@ -179,6 +219,9 @@ impl std::fmt::Display for CodecError {
                 write!(f, "decoded object index {object} outside 0..={}", Access::MAX_OBJECT)
             }
             CodecError::Malformed(what) => write!(f, "malformed corpus: {what}"),
+            CodecError::At { block, offset, inner } => {
+                write!(f, "{inner} (in block {block} starting at byte offset {offset})")
+            }
         }
     }
 }
@@ -187,6 +230,7 @@ impl std::error::Error for CodecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             CodecError::Io(e) => Some(e),
+            CodecError::At { inner, .. } => Some(inner),
             _ => None,
         }
     }
@@ -429,13 +473,23 @@ pub struct CorpusWriter<W: Write> {
     error: Option<CodecError>,
 }
 
-impl CorpusWriter<BufWriter<File>> {
-    /// Create (truncating) a corpus file at `path` and write the header.
+impl CorpusWriter<AtomicFile> {
+    /// Create a corpus file at `path`, staged through an [`AtomicFile`]: all bytes
+    /// go to `<path>.tmp`, and nothing appears at `path` until
+    /// [`CorpusWriter::finish_durable`] commits the rename.  A recording killed
+    /// mid-run therefore never clobbers a previous corpus, and its `.tmp` sibling
+    /// is a clean prefix that `xp trace recover` can salvage.
     pub fn create(path: &Path, layout: ObjectLayout, num_procs: usize) -> Result<Self, CodecError> {
-        let file = File::create(path)?;
-        // A corpus interval is hundreds of KB of blocks; the 8 KB default buffer
-        // would syscall over a hundred times per MB.
-        CorpusWriter::new(BufWriter::with_capacity(1 << 20, file), layout, num_procs)
+        CorpusWriter::new(AtomicFile::create(path)?, layout, num_procs)
+    }
+
+    /// [`CorpusWriter::finish`] plus the durability step: fsync the staged bytes and
+    /// atomically rename them onto the final path.  The corpus exists at its final
+    /// path if and only if this returned `Ok`.
+    pub fn finish_durable(self) -> Result<CorpusSummary, CodecError> {
+        let (file, summary) = self.finish_into_inner()?;
+        file.commit()?;
+        Ok(summary)
     }
 }
 
@@ -478,6 +532,9 @@ impl<W: Write> CorpusWriter<W> {
 
     /// Encode and write one access block for `proc` covering `accesses`.
     fn write_access_block(&mut self, proc: usize, lo: usize, hi: usize) -> Result<(), CodecError> {
+        failpoint::point!("codec/write-block", |msg: String| Err(CodecError::Io(
+            io::Error::other(msg)
+        )));
         self.scratch.clear();
         let accesses = &self.buffers[proc][lo..hi];
         // Kind runs: alternating run lengths, reads first (a leading zero-length read
@@ -580,6 +637,7 @@ impl<W: Write> CorpusWriter<W> {
     /// [`CorpusWriter::finish`], additionally handing back the underlying byte sink
     /// (used by in-memory round-trip tests).
     pub fn finish_into_inner(mut self) -> Result<(W, CorpusSummary), CodecError> {
+        failpoint::point!("codec/finish", |msg: String| Err(CodecError::Io(io::Error::other(msg))));
         if let Some(e) = self.error.take() {
             return Err(e);
         }
@@ -635,6 +693,91 @@ impl<W: Write> TraceSink for CorpusWriter<W> {
 enum IntervalPhase {
     Accesses,
     Locks,
+}
+
+/// Decode progress shared by [`CorpusReader::replay_into`] and
+/// [`CorpusReader::salvage_into`]: the running summary plus the canonical-shape
+/// state the reader enforces across blocks.
+#[derive(Debug)]
+struct ReplayProgress {
+    summary: CorpusSummary,
+    interval_open: bool,
+    phase: IntervalPhase,
+    /// Highest processor seen in the access phase of the current interval
+    /// (canonical shape: ascending, locks strictly so).
+    last_access_proc: u64,
+    last_lock_proc: Option<u64>,
+    /// Blocks fully decoded and delivered to the sink so far.
+    blocks: u64,
+    /// `bytes_read` at the end of the last fully decoded block (initially the
+    /// header length): the prefix boundary salvage can trust.
+    valid_bytes: u64,
+}
+
+impl ReplayProgress {
+    fn new(header_bytes: u64) -> Self {
+        ReplayProgress {
+            summary: CorpusSummary::default(),
+            interval_open: false,
+            phase: IntervalPhase::Accesses,
+            last_access_proc: 0,
+            last_lock_proc: None,
+            blocks: 0,
+            valid_bytes: header_bytes,
+        }
+    }
+
+    /// Close out decoding: count a trailing partial interval (`SyncEvent::End`
+    /// semantics, matching the writer) and stamp the decoded byte extent.
+    fn finish(mut self) -> CorpusSummary {
+        if self.interval_open {
+            self.summary.intervals += 1;
+        }
+        self.summary.file_bytes = self.valid_bytes;
+        self.summary
+    }
+}
+
+/// What [`CorpusReader::step_block`] decoded.
+enum BlockStep {
+    /// One access/lock/barrier block was fully validated and delivered.
+    Continue,
+    /// The end marker: the corpus is complete.
+    End,
+}
+
+/// What [`CorpusReader::salvage_into`] recovered from a damaged (or intact) corpus.
+///
+/// The summary covers exactly the longest valid block prefix; everything after
+/// `valid_bytes` was not delivered to the sink.
+#[derive(Debug)]
+pub struct SalvageOutcome {
+    /// Decode summary of the recovered prefix (its `file_bytes` equals
+    /// [`SalvageOutcome::valid_bytes`]).
+    pub summary: CorpusSummary,
+    /// Byte length of the longest valid block prefix (header included).
+    pub valid_bytes: u64,
+    /// Total bytes consumed while scanning, including the partial block the scan
+    /// died in (`valid_bytes..scanned_bytes` is damaged or incomplete data).
+    pub scanned_bytes: u64,
+    /// Why the scan stopped: `None` for a clean end marker, otherwise the decode
+    /// error (with block/offset context) that a strict replay would have returned.
+    pub stop: Option<CodecError>,
+}
+
+impl SalvageOutcome {
+    /// Whether the corpus decoded to its end marker with nothing lost.
+    pub fn is_intact(&self) -> bool {
+        self.stop.is_none()
+    }
+
+    /// Human-readable reason the scan stopped (`"clean end marker"` when intact).
+    pub fn stop_reason(&self) -> String {
+        match &self.stop {
+            None => "clean end marker".to_string(),
+            Some(e) => e.to_string(),
+        }
+    }
 }
 
 /// Streams a corpus into any [`TraceSink`] through reused decode buffers.
@@ -727,6 +870,12 @@ impl<R: Read> CorpusReader<R> {
 
     /// Stream every block into `sink` and return the decode summary.
     ///
+    /// Strict: the first structural violation aborts the replay with a
+    /// [`CodecError`] wrapped in block/offset context ([`CodecError::At`]).  Events
+    /// decoded before the failure have already reached the sink.  Use
+    /// [`CorpusReader::salvage_into`] to recover the valid prefix of a damaged
+    /// corpus instead.
+    ///
     /// # Panics
     /// Panics if the sink's processor count disagrees with the corpus header — a
     /// caller bug, exactly like tee-ing mismatched sinks.  All *data* problems
@@ -736,125 +885,166 @@ impl<R: Read> CorpusReader<R> {
         sink: &mut S,
     ) -> Result<CorpusSummary, CodecError> {
         assert_eq!(sink.num_procs(), self.num_procs, "sink must match the corpus processor count");
-        let mut summary = CorpusSummary::default();
-        let mut interval_open = false;
-        let mut phase = IntervalPhase::Accesses;
-        // Highest processor seen in the current phase of the current interval
-        // (canonical shape: ascending, locks strictly so).
-        let mut last_access_proc = 0u64;
-        let mut last_lock_proc: Option<u64> = None;
+        let mut progress = ReplayProgress::new(self.bytes_read);
         loop {
-            let mut kind = [0u8; 1];
-            read_exact(&mut self.inner, &mut kind, "block kind")?;
-            self.bytes_read += 1;
-            match kind[0] {
-                KIND_END => break,
-                KIND_ACCESS => {
-                    let proc = self.read_varint("access block proc")?;
-                    let interval = self.read_varint("access block interval")?;
-                    let count = self.read_varint("access block count")?;
-                    let payload_len = self.read_varint("access block payload length")?;
-                    let mut checksum = [0u8; 4];
-                    read_exact(&mut self.inner, &mut checksum, "access block checksum")?;
-                    self.bytes_read += 4;
-                    let stored = u32::from_le_bytes(checksum);
-
-                    if proc >= self.num_procs as u64 {
-                        return Err(CodecError::ProcOutOfRange { proc, num_procs: self.num_procs });
-                    }
-                    if interval != summary.barriers {
-                        return Err(CodecError::IntervalMismatch {
-                            expected: summary.barriers,
-                            found: interval,
-                        });
-                    }
-                    if count == 0 {
-                        return Err(CodecError::Malformed("empty access block"));
-                    }
-                    if count > MAX_BLOCK_ACCESSES as u64 {
-                        return Err(CodecError::OversizedCount {
-                            count,
-                            max: MAX_BLOCK_ACCESSES as u64,
-                        });
-                    }
-                    if payload_len > max_payload_len(count) {
-                        return Err(CodecError::OversizedPayload {
-                            declared: payload_len,
-                            max: max_payload_len(count),
-                        });
-                    }
-                    if phase == IntervalPhase::Locks {
-                        return Err(CodecError::Malformed("access block after lock block"));
-                    }
-                    if interval_open && proc < last_access_proc {
-                        return Err(CodecError::Malformed("access blocks out of processor order"));
-                    }
-                    self.payload.resize(payload_len as usize, 0);
-                    read_exact(&mut self.inner, &mut self.payload, "access block payload")?;
-                    self.bytes_read += payload_len;
-                    let computed = wire::payload_checksum(&self.payload);
-                    if computed != stored {
-                        return Err(CodecError::ChecksumMismatch { stored, computed });
-                    }
-                    decode_access_payload(
-                        &self.payload,
-                        count as usize,
-                        &mut self.runs,
-                        &mut self.decoded,
-                    )?;
-                    sink.record_many(proc as usize, &self.decoded);
-
-                    interval_open = true;
-                    last_access_proc = proc;
-                    summary.accesses += count;
-                    summary.access_blocks += 1;
-                    summary.payload_bytes += payload_len;
-                }
-                KIND_LOCK => {
-                    let proc = self.read_varint("lock block proc")?;
-                    let count = self.read_varint("lock block count")?;
-                    if proc >= self.num_procs as u64 {
-                        return Err(CodecError::ProcOutOfRange { proc, num_procs: self.num_procs });
-                    }
-                    if count == 0 {
-                        return Err(CodecError::Malformed("empty lock block"));
-                    }
-                    if count > u64::from(u32::MAX) {
-                        return Err(CodecError::OversizedCount { count, max: u64::from(u32::MAX) });
-                    }
-                    if last_lock_proc.is_some_and(|last| proc <= last) {
-                        return Err(CodecError::Malformed("lock blocks out of processor order"));
-                    }
-                    for _ in 0..count {
-                        sink.lock(proc as usize, 0);
-                    }
-                    interval_open = true;
-                    phase = IntervalPhase::Locks;
-                    last_lock_proc = Some(proc);
-                    summary.lock_acquisitions += count;
-                }
-                KIND_BARRIER => {
-                    sink.barrier();
-                    summary.barriers += 1;
-                    // Intervals count blocks-carrying intervals only, matching the
-                    // writer (an empty barrier-closed interval emits just the barrier).
-                    if interval_open {
-                        summary.intervals += 1;
-                    }
-                    interval_open = false;
-                    phase = IntervalPhase::Accesses;
-                    last_access_proc = 0;
-                    last_lock_proc = None;
-                }
-                other => return Err(CodecError::BadBlockKind(other)),
+            let block_start = self.bytes_read;
+            match self.step_block(&mut progress, sink) {
+                Ok(BlockStep::Continue) => {}
+                Ok(BlockStep::End) => break,
+                Err(e) => return Err(e.at_block(progress.blocks, block_start)),
             }
         }
-        if interval_open {
-            // Trailing partial interval (SyncEvent::End): counted, no barrier emitted.
-            summary.intervals += 1;
+        Ok(progress.finish())
+    }
+
+    /// Stream the longest valid block prefix into `sink` and report exactly what
+    /// was recovered and what was lost.
+    ///
+    /// Where [`CorpusReader::replay_into`] aborts on the first structural
+    /// violation, salvage *stops* there: every block before the failure was fully
+    /// validated (payloads are checksummed and decoded before any event reaches the
+    /// sink), so the delivered prefix is precisely what a strict replay of a
+    /// corpus truncated at [`SalvageOutcome::valid_bytes`] would deliver.  A
+    /// trailing partial interval is finalized exactly as the writer would have
+    /// (`SyncEvent::End` semantics), so recovered corpora replay bit-identically.
+    ///
+    /// # Panics
+    /// Panics if the sink's processor count disagrees with the corpus header, as
+    /// with [`CorpusReader::replay_into`].
+    pub fn salvage_into<S: TraceSink + ?Sized>(&mut self, sink: &mut S) -> SalvageOutcome {
+        assert_eq!(sink.num_procs(), self.num_procs, "sink must match the corpus processor count");
+        let mut progress = ReplayProgress::new(self.bytes_read);
+        let stop = loop {
+            let block_start = self.bytes_read;
+            match self.step_block(&mut progress, sink) {
+                Ok(BlockStep::Continue) => {}
+                Ok(BlockStep::End) => break None,
+                Err(e) => break Some(e.at_block(progress.blocks, block_start)),
+            }
+        };
+        let (valid_bytes, scanned_bytes) = (progress.valid_bytes, self.bytes_read);
+        SalvageOutcome { summary: progress.finish(), valid_bytes, scanned_bytes, stop }
+    }
+
+    /// Decode and deliver one block (or the end marker), updating `progress` only
+    /// after the block fully validates — an `Err` leaves summary, shape state and
+    /// the sink exactly as the previous block left them, which is the invariant
+    /// [`CorpusReader::salvage_into`] is built on.
+    fn step_block<S: TraceSink + ?Sized>(
+        &mut self,
+        progress: &mut ReplayProgress,
+        sink: &mut S,
+    ) -> Result<BlockStep, CodecError> {
+        let mut kind = [0u8; 1];
+        read_exact(&mut self.inner, &mut kind, "block kind")?;
+        self.bytes_read += 1;
+        match kind[0] {
+            KIND_END => {
+                progress.valid_bytes = self.bytes_read;
+                return Ok(BlockStep::End);
+            }
+            KIND_ACCESS => {
+                let proc = self.read_varint("access block proc")?;
+                let interval = self.read_varint("access block interval")?;
+                let count = self.read_varint("access block count")?;
+                let payload_len = self.read_varint("access block payload length")?;
+                let mut checksum = [0u8; 4];
+                read_exact(&mut self.inner, &mut checksum, "access block checksum")?;
+                self.bytes_read += 4;
+                let stored = u32::from_le_bytes(checksum);
+
+                if proc >= self.num_procs as u64 {
+                    return Err(CodecError::ProcOutOfRange { proc, num_procs: self.num_procs });
+                }
+                if interval != progress.summary.barriers {
+                    return Err(CodecError::IntervalMismatch {
+                        expected: progress.summary.barriers,
+                        found: interval,
+                    });
+                }
+                if count == 0 {
+                    return Err(CodecError::Malformed("empty access block"));
+                }
+                if count > MAX_BLOCK_ACCESSES as u64 {
+                    return Err(CodecError::OversizedCount {
+                        count,
+                        max: MAX_BLOCK_ACCESSES as u64,
+                    });
+                }
+                if payload_len > max_payload_len(count) {
+                    return Err(CodecError::OversizedPayload {
+                        declared: payload_len,
+                        max: max_payload_len(count),
+                    });
+                }
+                if progress.phase == IntervalPhase::Locks {
+                    return Err(CodecError::Malformed("access block after lock block"));
+                }
+                if progress.interval_open && proc < progress.last_access_proc {
+                    return Err(CodecError::Malformed("access blocks out of processor order"));
+                }
+                self.payload.resize(payload_len as usize, 0);
+                read_exact(&mut self.inner, &mut self.payload, "access block payload")?;
+                self.bytes_read += payload_len;
+                let computed = wire::payload_checksum(&self.payload);
+                if computed != stored {
+                    return Err(CodecError::ChecksumMismatch { stored, computed });
+                }
+                decode_access_payload(
+                    &self.payload,
+                    count as usize,
+                    &mut self.runs,
+                    &mut self.decoded,
+                )?;
+                sink.record_many(proc as usize, &self.decoded);
+
+                progress.interval_open = true;
+                progress.last_access_proc = proc;
+                progress.summary.accesses += count;
+                progress.summary.access_blocks += 1;
+                progress.summary.payload_bytes += payload_len;
+            }
+            KIND_LOCK => {
+                let proc = self.read_varint("lock block proc")?;
+                let count = self.read_varint("lock block count")?;
+                if proc >= self.num_procs as u64 {
+                    return Err(CodecError::ProcOutOfRange { proc, num_procs: self.num_procs });
+                }
+                if count == 0 {
+                    return Err(CodecError::Malformed("empty lock block"));
+                }
+                if count > u64::from(u32::MAX) {
+                    return Err(CodecError::OversizedCount { count, max: u64::from(u32::MAX) });
+                }
+                if progress.last_lock_proc.is_some_and(|last| proc <= last) {
+                    return Err(CodecError::Malformed("lock blocks out of processor order"));
+                }
+                for _ in 0..count {
+                    sink.lock(proc as usize, 0);
+                }
+                progress.interval_open = true;
+                progress.phase = IntervalPhase::Locks;
+                progress.last_lock_proc = Some(proc);
+                progress.summary.lock_acquisitions += count;
+            }
+            KIND_BARRIER => {
+                sink.barrier();
+                progress.summary.barriers += 1;
+                // Intervals count blocks-carrying intervals only, matching the
+                // writer (an empty barrier-closed interval emits just the barrier).
+                if progress.interval_open {
+                    progress.summary.intervals += 1;
+                }
+                progress.interval_open = false;
+                progress.phase = IntervalPhase::Accesses;
+                progress.last_access_proc = 0;
+                progress.last_lock_proc = None;
+            }
+            other => return Err(CodecError::BadBlockKind(other)),
         }
-        summary.file_bytes = self.bytes_read;
-        Ok(summary)
+        progress.blocks += 1;
+        progress.valid_bytes = self.bytes_read;
+        Ok(BlockStep::Continue)
     }
 
     fn read_varint(&mut self, what: &'static str) -> Result<u64, CodecError> {

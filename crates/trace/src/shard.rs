@@ -135,6 +135,11 @@ impl ShardSet {
     /// Panics if the sink disagrees on the processor count.
     pub fn drain_open<S: TraceSink + ?Sized>(&mut self, sink: &mut S) {
         assert_eq!(sink.num_procs(), self.num_procs(), "sink must match the processor count");
+        // Fault site for the whole sink pipeline: everything the generators produce
+        // funnels through this drain, so an injected panic or delay here exercises a
+        // cell dying (or stalling) mid-stream.  Inert unless the `failpoints`
+        // feature is on and the point is configured (DESIGN.md §13).
+        failpoint::point!("trace/drain");
         for (proc, shard) in self.shards.iter_mut().enumerate() {
             if shard.is_empty() {
                 continue;

@@ -55,9 +55,10 @@ fn every_truncation_errors_and_never_panics() {
     for len in 0..bytes.len() {
         let result = decode(&bytes[..len]);
         assert!(result.is_err(), "prefix of {len} bytes decoded successfully");
+        let err = result.unwrap_err();
         assert!(
-            matches!(result, Err(CodecError::Truncated(_))),
-            "prefix of {len} bytes gave {result:?}, expected Truncated"
+            matches!(err.root(), CodecError::Truncated(_)),
+            "prefix of {len} bytes gave {err:?}, expected Truncated"
         );
     }
 }
@@ -92,7 +93,16 @@ fn zero_proc_header_is_rejected() {
 fn unknown_block_kind_is_rejected() {
     let mut bytes = valid_header(2);
     bytes.push(0x7f);
-    assert!(matches!(decode(&bytes), Err(CodecError::BadBlockKind(0x7f))));
+    let err = decode(&bytes).unwrap_err();
+    assert!(matches!(err.root(), CodecError::BadBlockKind(0x7f)));
+    // Satellite contract: block errors carry where decoding stopped — the bad tag
+    // is block 0, sitting right after the 10-byte header.
+    assert_eq!(err.location(), Some((0, 10)));
+    let rendered = err.to_string();
+    assert!(
+        rendered.contains("block 0") && rendered.contains("byte offset 10"),
+        "Display should name the failing block and offset: {rendered}"
+    );
 }
 
 #[test]
@@ -104,11 +114,9 @@ fn checksum_mismatch_is_detected() {
     let payload_start = 10 + 5 + 4;
     let mut corrupted = bytes.clone();
     corrupted[payload_start] ^= 0x01;
-    assert!(
-        matches!(decode(&corrupted), Err(CodecError::ChecksumMismatch { .. })),
-        "got {:?}",
-        decode(&corrupted)
-    );
+    let err = decode(&corrupted).unwrap_err();
+    assert!(matches!(err.root(), CodecError::ChecksumMismatch { .. }), "got {err:?}");
+    assert_eq!(err.location(), Some((0, 10)), "first block starts right after the header");
 }
 
 #[test]
@@ -120,7 +128,7 @@ fn oversized_access_count_is_rejected() {
     wire::write_varint(&mut bytes, MAX_BLOCK_ACCESSES as u64 + 1); // count over the cap
     wire::write_varint(&mut bytes, 4); // payload_len
     bytes.extend_from_slice(&[0u8; 4]); // checksum
-    assert!(matches!(decode(&bytes), Err(CodecError::OversizedCount { .. })));
+    assert!(matches!(decode(&bytes).unwrap_err().root(), CodecError::OversizedCount { .. }));
 }
 
 #[test]
@@ -132,7 +140,7 @@ fn oversized_payload_length_is_rejected() {
     wire::write_varint(&mut bytes, 2); // count
     wire::write_varint(&mut bytes, 1 << 30); // payload_len: impossible for 2 accesses
     bytes.extend_from_slice(&[0u8; 4]);
-    assert!(matches!(decode(&bytes), Err(CodecError::OversizedPayload { .. })));
+    assert!(matches!(decode(&bytes).unwrap_err().root(), CodecError::OversizedPayload { .. }));
 }
 
 #[test]
@@ -141,7 +149,10 @@ fn out_of_range_processor_is_rejected() {
     bytes.push(0x02); // lock block
     wire::write_varint(&mut bytes, 99); // proc out of range
     wire::write_varint(&mut bytes, 1); // count
-    assert!(matches!(decode(&bytes), Err(CodecError::ProcOutOfRange { proc: 99, num_procs: 2 })));
+    assert!(matches!(
+        decode(&bytes).unwrap_err().root(),
+        CodecError::ProcOutOfRange { proc: 99, num_procs: 2 }
+    ));
 }
 
 #[test]
@@ -153,7 +164,10 @@ fn interval_mismatch_is_rejected() {
     wire::write_varint(&mut bytes, 1); // count
     wire::write_varint(&mut bytes, 2); // payload_len
     bytes.extend_from_slice(&[0u8; 4]);
-    assert!(matches!(decode(&bytes), Err(CodecError::IntervalMismatch { expected: 0, found: 5 })));
+    assert!(matches!(
+        decode(&bytes).unwrap_err().root(),
+        CodecError::IntervalMismatch { expected: 0, found: 5 }
+    ));
 }
 
 #[test]
@@ -165,7 +179,7 @@ fn empty_access_block_is_rejected() {
     wire::write_varint(&mut bytes, 0); // count: zero is never written
     wire::write_varint(&mut bytes, 0); // payload_len
     bytes.extend_from_slice(&[0u8; 4]);
-    assert!(matches!(decode(&bytes), Err(CodecError::Malformed(_))));
+    assert!(matches!(decode(&bytes).unwrap_err().root(), CodecError::Malformed(_)));
 }
 
 #[test]
@@ -194,7 +208,10 @@ fn out_of_order_access_blocks_are_rejected() {
         bytes.extend_from_slice(&wire::payload_checksum(&payload).to_le_bytes());
         bytes.extend_from_slice(&payload);
     }
-    assert!(matches!(decode(&bytes), Err(CodecError::Malformed(_))));
+    let err = decode(&bytes).unwrap_err();
+    assert!(matches!(err.root(), CodecError::Malformed(_)));
+    let (block, _) = err.location().expect("block errors carry context");
+    assert_eq!(block, 1, "the second (out-of-order) block is the failing one");
 }
 
 #[test]
@@ -261,7 +278,7 @@ proptest! {
         if cut == bytes.len() {
             prop_assert!(result.is_ok());
         } else {
-            prop_assert!(matches!(result, Err(CodecError::Truncated(_))));
+            prop_assert!(matches!(result.unwrap_err().root(), CodecError::Truncated(_)));
         }
     }
 }
