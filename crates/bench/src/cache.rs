@@ -1,0 +1,472 @@
+//! Content-addressed cell cache: canonical keys, an in-memory store, and an
+//! optional crash-safe on-disk layer.
+//!
+//! The paper's evaluation is a grid of cells (app × ordering × granularity ×
+//! processor count), and overlapping sweeps recompute identical cells wholesale:
+//! `fig02_05` at its default processor ladder covers every cell a later
+//! `--procs 8` run needs, `table2` and `fig07` share their application set, and a
+//! serve session replays the same submissions again and again.  This module gives
+//! every *deterministic* cell a stable 128-bit content address so the scheduler
+//! ([`crate::scheduler`]) can pay for each unique cell exactly once.
+//!
+//! # Key derivation
+//!
+//! A [`CellKey`] is a SipHash-2-4 128-bit digest ([`siphash::SipHash128`], vendored
+//! — the build has no registry access) over a *canonical* encoding of everything
+//! that determines the cell's rows: a spec-scoped domain string, a schema-version
+//! salt, and a set of named, typed fields (scale, seed, processor count, the cell's
+//! own coordinates).  Canonicalization rules:
+//!
+//! - **Tagged fields, order-independent fold.**  Each field is hashed on its own as
+//!   `name ‖ 0x1F ‖ type-tag ‖ value-bytes` and the per-field digests are folded
+//!   with wrapping addition, so key equality is insensitive to the order fields are
+//!   declared in — two call sites describing the same cell cannot disagree by
+//!   refactoring order.  The field *count* is hashed into the finalizer, so adding
+//!   a field always changes the key.
+//! - **Effective values, not overrides.**  Specs hash `config.procs_or(default)`,
+//!   not the `Option`: a run with `--procs 8` and a default-ladder run that happens
+//!   to execute an 8-processor cell land on the same key (that overlap is the
+//!   measured win in EXPERIMENTS.md's `serve-dedup`).
+//! - **Domain separation.**  The spec id is part of the domain, so two specs with
+//!   coincidentally identical knobs can never alias each other's rows.
+//!
+//! # Crash safety
+//!
+//! The disk layer stores one file per key (`<hex key>.cell`) written through
+//! [`smtrace::AtomicFile`]: bytes stage into a `.tmp` sibling and rename onto the
+//! final path only after an fsync.  The `serve/cache-commit` failpoint sits between
+//! encode and commit, and `tests/failpoints_cache.rs` proves a crash there leaves
+//! *no* partial entry — the final path is absent and the temp is cleaned up (or,
+//! after SIGKILL, ignored by lookups), mirroring the PR 8 corpus contract.  A
+//! corrupt or truncated entry (bad magic, checksum, or key echo) reads as a miss,
+//! never as wrong rows.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use smtrace::AtomicFile;
+
+use crate::runner::{Row, Value};
+
+/// Fixed public SipHash key for cell addresses: content addressing wants a stable,
+/// documented function — there is nothing secret about an experiment cell.
+const KEY_K0: u64 = 0x7870_2d63_656c_6c73; // "xp-cells"
+const KEY_K1: u64 = 0x7265_6f72_6465_7230; // "reorder0"
+
+/// Bump when the meaning of a key or the row codec changes: old disk entries then
+/// miss instead of decoding into the wrong shape.
+const SCHEMA_SALT: &str = "xp-cell-cache-v1";
+
+/// On-disk entry magic ("xp cell cache").
+const MAGIC: &[u8; 4] = b"XPCC";
+
+/// A 128-bit content address for one experiment cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CellKey {
+    /// First digest half (reference output bytes 0..8, little-endian).
+    pub hi: u64,
+    /// Second digest half (bytes 8..16).
+    pub lo: u64,
+}
+
+impl fmt::Display for CellKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}{:016x}", self.hi, self.lo)
+    }
+}
+
+impl CellKey {
+    /// File name of this key's on-disk entry.
+    pub fn file_name(&self) -> String {
+        format!("{self}.cell")
+    }
+}
+
+/// Builds a [`CellKey`] from named, typed fields (see module docs for the
+/// canonicalization rules).
+#[derive(Debug, Clone)]
+pub struct KeyBuilder {
+    domain: String,
+    fold_hi: u64,
+    fold_lo: u64,
+    fields: u64,
+}
+
+impl KeyBuilder {
+    /// Start a key in `domain` — by convention `"<spec id>/<matrix name>"`, which
+    /// gives cross-spec separation for free.
+    pub fn new(domain: &str) -> Self {
+        KeyBuilder { domain: domain.to_string(), fold_hi: 0, fold_lo: 0, fields: 0 }
+    }
+
+    fn field_bytes(&mut self, name: &str, tag: u8, value: &[u8]) {
+        let mut h = siphash::SipHash128::new(KEY_K0, KEY_K1);
+        h.write(name.as_bytes());
+        h.write(&[0x1f, tag]);
+        h.write(value);
+        let (hi, lo) = h.finish128();
+        // Wrapping addition keeps the fold order-independent; the finalizer mixes
+        // the running sums through SipHash again, so the sum structure is not
+        // exposed in the final key.
+        self.fold_hi = self.fold_hi.wrapping_add(hi);
+        self.fold_lo = self.fold_lo.wrapping_add(lo);
+        self.fields += 1;
+    }
+
+    /// A string-valued field (app name, ordering, method label, ...).
+    pub fn field_str(mut self, name: &str, value: &str) -> Self {
+        self.field_bytes(name, b's', value.as_bytes());
+        self
+    }
+
+    /// An unsigned integer field (seed, processor count, unit size, ...).
+    pub fn field_u64(mut self, name: &str, value: u64) -> Self {
+        self.field_bytes(name, b'u', &value.to_le_bytes());
+        self
+    }
+
+    /// A `usize` field, hashed as `u64` so 32/64-bit hosts agree.
+    pub fn field_usize(self, name: &str, value: usize) -> Self {
+        self.field_u64(name, value as u64)
+    }
+
+    /// A float field, hashed by bit pattern (bit-identical or different key).
+    pub fn field_f64(mut self, name: &str, value: f64) -> Self {
+        self.field_bytes(name, b'f', &value.to_bits().to_le_bytes());
+        self
+    }
+
+    /// Finalize into the content address.
+    pub fn finish(self) -> CellKey {
+        let mut h = siphash::SipHash128::new(KEY_K0, KEY_K1);
+        h.write(SCHEMA_SALT.as_bytes());
+        h.write(&[0x1f]);
+        h.write(self.domain.as_bytes());
+        h.write(&[0x1f]);
+        h.write_u64(self.fields);
+        h.write_u64(self.fold_hi);
+        h.write_u64(self.fold_lo);
+        let (hi, lo) = h.finish128();
+        CellKey { hi, lo }
+    }
+}
+
+/// Hit/miss accounting for one cache (session-wide when shared by a serve
+/// session; per-sweep otherwise).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from memory.
+    pub memory_hits: u64,
+    /// Lookups answered by decoding a disk entry.
+    pub disk_hits: u64,
+    /// Lookups that found nothing (the cell was then computed).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// All lookups answered without recomputation.
+    pub fn hits(&self) -> u64 {
+        self.memory_hits + self.disk_hits
+    }
+
+    /// All lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses
+    }
+}
+
+/// The content-addressed cell store: always in-memory, optionally backed by a
+/// directory of crash-safe `.cell` files.
+#[derive(Debug)]
+pub struct CellCache {
+    inner: Mutex<CacheState>,
+    disk: Option<PathBuf>,
+}
+
+#[derive(Debug, Default)]
+struct CacheState {
+    memory: HashMap<CellKey, Arc<Vec<Row>>>,
+    stats: CacheStats,
+}
+
+impl Default for CellCache {
+    fn default() -> Self {
+        CellCache::new()
+    }
+}
+
+impl CellCache {
+    /// A purely in-memory cache (one `xp sweep` / serve session).
+    pub fn new() -> Self {
+        CellCache { inner: Mutex::new(CacheState::default()), disk: None }
+    }
+
+    /// A cache persisted under `dir` (created if absent): entries survive across
+    /// processes, so repeated invocations with `--cache-dir` reuse each other's
+    /// cells.
+    pub fn with_disk(dir: &Path) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        Ok(CellCache { inner: Mutex::new(CacheState::default()), disk: Some(dir.to_path_buf()) })
+    }
+
+    /// The disk directory, if this cache has one.
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref()
+    }
+
+    /// Look `key` up: memory, then disk.  A disk hit is promoted into memory; a
+    /// corrupt disk entry counts as a miss.
+    pub fn get(&self, key: CellKey) -> Option<Arc<Vec<Row>>> {
+        let mut state = self.inner.lock().expect("cache lock");
+        if let Some(rows) = state.memory.get(&key).map(Arc::clone) {
+            state.stats.memory_hits += 1;
+            return Some(rows);
+        }
+        if let Some(dir) = &self.disk {
+            let path = dir.join(key.file_name());
+            if let Ok(bytes) = fs::read(&path) {
+                if let Some(rows) = decode_entry(key, &bytes) {
+                    let rows = Arc::new(rows);
+                    state.memory.insert(key, Arc::clone(&rows));
+                    state.stats.disk_hits += 1;
+                    return Some(rows);
+                }
+                // Unreadable entry: never serve it, and do not let it shadow the
+                // re-insert that the recomputation below will perform.
+                let _ = fs::remove_file(&path);
+            }
+        }
+        state.stats.misses += 1;
+        None
+    }
+
+    /// Store computed rows under `key` (memory always; disk when configured,
+    /// through [`AtomicFile`] so a crash mid-write leaves no partial entry).
+    ///
+    /// A disk error leaves the memory entry in place — persistence is an
+    /// optimization, losing it must not fail the experiment.
+    pub fn insert(&self, key: CellKey, rows: Arc<Vec<Row>>) -> io::Result<()> {
+        self.inner.lock().expect("cache lock").memory.insert(key, Arc::clone(&rows));
+        if let Some(dir) = &self.disk {
+            let bytes = encode_entry(key, &rows);
+            let mut file = AtomicFile::create(&dir.join(key.file_name()))?;
+            file.write_all(&bytes)?;
+            // The crash window under test: the entry is fully staged but not yet
+            // durable.  Killed here, the final path must stay absent.
+            failpoint::point!("serve/cache-commit", |msg: String| Err(io::Error::other(msg)));
+            file.commit()?;
+        }
+        Ok(())
+    }
+
+    /// A stats snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.lock().expect("cache lock").stats
+    }
+}
+
+/// Binary row codec: `XPCC` magic, version, key echo, row/cell counts, tagged
+/// values, and a trailing SipHash-128 checksum of everything before it.
+fn encode_entry(key: CellKey, rows: &[Row]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64 + rows.len() * 32);
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&key.hi.to_le_bytes());
+    out.extend_from_slice(&key.lo.to_le_bytes());
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    for row in rows {
+        out.extend_from_slice(&(row.cells.len() as u32).to_le_bytes());
+        for cell in &row.cells {
+            match cell {
+                Value::Str(s) => {
+                    out.push(0);
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+                Value::Int(i) => {
+                    out.push(1);
+                    out.extend_from_slice(&i.to_le_bytes());
+                }
+                // Bit pattern, not a decimal round-trip: cached floats are
+                // bit-identical to computed ones by construction.
+                Value::Float(f) => {
+                    out.push(2);
+                    out.extend_from_slice(&f.to_bits().to_le_bytes());
+                }
+            }
+        }
+    }
+    let (c0, c1) = siphash::SipHash128::hash(KEY_K0, KEY_K1, &out);
+    out.extend_from_slice(&c0.to_le_bytes());
+    out.extend_from_slice(&c1.to_le_bytes());
+    out
+}
+
+/// Decode and validate; `None` on any structural or checksum mismatch.
+fn decode_entry(key: CellKey, bytes: &[u8]) -> Option<Vec<Row>> {
+    if bytes.len() < 4 + 4 + 16 + 4 + 16 {
+        return None;
+    }
+    let (body, checksum) = bytes.split_at(bytes.len() - 16);
+    let (c0, c1) = siphash::SipHash128::hash(KEY_K0, KEY_K1, body);
+    if checksum[..8] != c0.to_le_bytes() || checksum[8..] != c1.to_le_bytes() {
+        return None;
+    }
+    let mut r = Reader { bytes: body, at: 0 };
+    if r.take(4)? != MAGIC.as_slice() || r.u32()? != 1 {
+        return None;
+    }
+    if (r.u64()?, r.u64()?) != (key.hi, key.lo) {
+        return None;
+    }
+    let nrows = r.u32()? as usize;
+    let mut rows = Vec::with_capacity(nrows.min(1 << 16));
+    for _ in 0..nrows {
+        let ncells = r.u32()? as usize;
+        let mut cells = Vec::with_capacity(ncells.min(1 << 10));
+        for _ in 0..ncells {
+            let cell = match r.u8()? {
+                0 => {
+                    let len = r.u32()? as usize;
+                    Value::Str(String::from_utf8(r.take(len)?.to_vec()).ok()?)
+                }
+                1 => Value::Int(i64::from_le_bytes(r.take(8)?.try_into().ok()?)),
+                2 => Value::Float(f64::from_bits(u64::from_le_bytes(r.take(8)?.try_into().ok()?))),
+                _ => return None,
+            };
+            cells.push(cell);
+        }
+        rows.push(Row { cells });
+    }
+    (r.at == body.len()).then_some(rows)
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.bytes.get(self.at..self.at.checked_add(n)?)?;
+        self.at += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    fn demo_rows() -> Vec<Row> {
+        vec![
+            row!["water-sp", 16usize, 0.5f64],
+            row!["barnes", 8usize, f64::NAN],
+            row!["comma,quote\"", -3i64, 1.0e-300f64],
+        ]
+    }
+
+    #[test]
+    fn keys_are_stable_across_field_order() {
+        let a = KeyBuilder::new("table2/grid")
+            .field_str("app", "barnes")
+            .field_u64("seed", 123)
+            .field_usize("procs", 16)
+            .finish();
+        let b = KeyBuilder::new("table2/grid")
+            .field_usize("procs", 16)
+            .field_u64("seed", 123)
+            .field_str("app", "barnes")
+            .finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn keys_separate_domains_fields_and_values() {
+        let base = || KeyBuilder::new("table2/grid").field_str("app", "barnes");
+        let key = base().finish();
+        assert_ne!(KeyBuilder::new("fig07/grid").field_str("app", "barnes").finish(), key);
+        assert_ne!(base().field_u64("seed", 0).finish(), key, "extra field changes the key");
+        assert_ne!(KeyBuilder::new("table2/grid").field_str("app", "water").finish(), key);
+        // Same value under a different field name is a different cell.
+        assert_ne!(KeyBuilder::new("table2/grid").field_str("ordering", "barnes").finish(), key);
+    }
+
+    #[test]
+    fn float_fields_hash_by_bit_pattern() {
+        let k = |v: f64| KeyBuilder::new("d").field_f64("x", v).finish();
+        assert_eq!(k(f64::NAN), k(f64::NAN));
+        assert_ne!(k(0.0), k(-0.0), "distinct bit patterns are distinct cells");
+    }
+
+    #[test]
+    fn memory_roundtrip_and_stats() {
+        let cache = CellCache::new();
+        let key = KeyBuilder::new("t").field_u64("i", 1).finish();
+        assert!(cache.get(key).is_none());
+        cache.insert(key, Arc::new(demo_rows())).unwrap();
+        let rows = cache.get(key).expect("hit");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(cache.stats(), CacheStats { memory_hits: 1, disk_hits: 0, misses: 1 });
+    }
+
+    #[test]
+    fn disk_roundtrip_is_bit_identical_and_corruption_reads_as_a_miss() {
+        let dir = std::env::temp_dir().join(format!("xp-cache-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let key = KeyBuilder::new("t").field_u64("i", 2).finish();
+        {
+            let cache = CellCache::with_disk(&dir).unwrap();
+            cache.insert(key, Arc::new(demo_rows())).unwrap();
+        }
+        // A fresh cache (new process, in effect) reads the entry back.
+        let cache = CellCache::with_disk(&dir).unwrap();
+        let rows = cache.get(key).expect("disk hit");
+        let original = demo_rows();
+        assert_eq!(rows.len(), original.len());
+        for (got, want) in rows.iter().zip(&original) {
+            for (g, w) in got.cells.iter().zip(&want.cells) {
+                match (g, w) {
+                    (Value::Float(g), Value::Float(w)) => assert_eq!(g.to_bits(), w.to_bits()),
+                    _ => assert_eq!(g, w),
+                }
+            }
+        }
+        assert_eq!(cache.stats().disk_hits, 1);
+
+        // Truncate the entry: the next fresh cache must treat it as a miss.
+        let path = dir.join(key.file_name());
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let cache = CellCache::with_disk(&dir).unwrap();
+        assert!(cache.get(key).is_none(), "corrupt entries never decode");
+        assert!(!path.exists(), "corrupt entries are evicted");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn entries_do_not_decode_under_the_wrong_key() {
+        let key = KeyBuilder::new("t").field_u64("i", 3).finish();
+        let other = KeyBuilder::new("t").field_u64("i", 4).finish();
+        let bytes = encode_entry(key, &demo_rows());
+        assert!(decode_entry(key, &bytes).is_some());
+        assert!(decode_entry(other, &bytes).is_none(), "key echo is validated");
+    }
+}

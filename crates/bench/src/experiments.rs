@@ -19,9 +19,19 @@ use reorder::{compute_reordering_from_points, pack_keys, sort_keys, KeyWidth, Me
 use smtrace::ObjectLayout;
 use workloads::{cubic_lattice, two_plummer, UnstructuredMesh};
 
+use crate::cache::{CellKey, KeyBuilder};
 use crate::row;
-use crate::runner::{run_cells, ExperimentSpec, Format, Row, RunConfig};
+use crate::runner::{run_keyed_cells, ExperimentSpec, Format, Row, RunConfig};
 use crate::{build_run, build_run_sized, AppKind, Ordering, Scale};
+
+/// Canonical name of a scale for cell keys (lowercase, stable).
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Paper => "paper",
+    }
+}
 
 /// All experiments, in the order of the paper's evaluation section.
 pub static EXPERIMENTS: &[ExperimentSpec] = &[
@@ -370,11 +380,23 @@ fn run_table2(cfg: &RunConfig) -> Vec<Row> {
     let par_procs = cfg.procs_or(16);
     let seed = cfg.seed_or(123);
     let cost = CostModel::default();
-    let cells: Vec<(AppKind, Ordering)> = AppKind::ALL
+    // Key on the *effective* knobs (procs_or/seed_or applied): a `--procs 16` run
+    // and a default run describe the same cells, so they share cache entries.
+    let cells: Vec<(CellKey, (AppKind, Ordering))> = AppKind::ALL
         .into_iter()
         .flat_map(|app| orderings_for(app, false).into_iter().map(move |o| (app, o)))
+        .map(|(app, ordering)| {
+            let key = KeyBuilder::new("table2")
+                .field_str("scale", scale_name(scale))
+                .field_u64("seed", seed)
+                .field_usize("procs", par_procs)
+                .field_str("app", app.name())
+                .field_str("ordering", &ordering.name())
+                .finish();
+            (key, (app, ordering))
+        })
         .collect();
-    run_cells(cells, |(app, ordering)| {
+    run_keyed_cells(cells, |(app, ordering)| {
         let mut reorder_cost = 0.0f64;
         let mut per_procs = Vec::new();
         for procs in [1usize, par_procs] {
@@ -406,11 +428,21 @@ fn run_table3(cfg: &RunConfig) -> Vec<Row> {
     let seed = cfg.seed_or(99);
     let config = DsmConfig::cluster(procs);
     let cost = NetworkCostModel::default();
-    let cells: Vec<(AppKind, Ordering)> = AppKind::ALL
+    let cells: Vec<(CellKey, (AppKind, Ordering))> = AppKind::ALL
         .into_iter()
         .flat_map(|app| orderings_for(app, true).into_iter().map(move |o| (app, o)))
+        .map(|(app, ordering)| {
+            let key = KeyBuilder::new("table3")
+                .field_str("scale", scale_name(scale))
+                .field_u64("seed", seed)
+                .field_usize("procs", procs)
+                .field_str("app", app.name())
+                .field_str("ordering", &ordering.name())
+                .finish();
+            (key, (app, ordering))
+        })
         .collect();
-    run_cells(cells, |(app, ordering)| {
+    run_keyed_cells(cells, |(app, ordering)| {
         let run = build_run(app, ordering, scale, procs, seed);
         let tmk = TreadMarksSim::new(config).run_with_layout(&run.trace, &run.layout);
         let hlrc = HlrcSim::new(config).run_with_layout(&run.trace, &run.layout);
@@ -491,11 +523,23 @@ fn run_fig01_04(cfg: &RunConfig) -> Vec<Row> {
     const PAGE_BYTES: usize = 4096;
     let procs = cfg.procs_or(4);
     let seed = cfg.seed_or(42);
-    let cells = vec![
+    let cells: Vec<(CellKey, (&str, Ordering))> = [
         ("Figure 1 (original)", Ordering::Original),
         ("Figure 4 (hilbert)", Ordering::Reordered(Method::Hilbert)),
-    ];
-    run_cells(cells, |(label, ordering)| {
+    ]
+    .into_iter()
+    .map(|(label, ordering)| {
+        let key = KeyBuilder::new("fig01_04")
+            .field_usize("particles", PARTICLES)
+            .field_usize("procs", procs)
+            .field_u64("seed", seed)
+            .field_str("label", label)
+            .field_str("ordering", &ordering.name())
+            .finish();
+        (key, (label, ordering))
+    })
+    .collect();
+    run_keyed_cells(cells, |(label, ordering)| {
         let run = build_run_sized(AppKind::BarnesHut, ordering, PARTICLES, 1, procs, seed);
         let map = page_update_map(&run.trace, &run.layout, PAGE_BYTES);
         let num_pages = run.layout.num_units(PAGE_BYTES);
@@ -518,7 +562,10 @@ fn run_fig02_05(cfg: &RunConfig) -> Vec<Row> {
     // --procs narrows the sweep to one processor count; default is the paper's 2-16.
     let proc_counts = cfg.procs.map(|p| vec![p]).unwrap_or_else(|| vec![2, 4, 8, 16]);
     let dump = std::env::var("REPRO_DUMP_PAGES").map(|v| v == "1").unwrap_or(false);
-    let cells: Vec<(usize, &str, Ordering)> = proc_counts
+    // Keyed on (bodies, procs, seed, ordering): a narrowed `--procs 8` run shares
+    // cache entries with the default 2-16 ladder, and tiny/small share `bodies`.
+    // REPRO_DUMP_PAGES is stderr-only diagnostics, so it stays out of the key.
+    let cells: Vec<(CellKey, (usize, &str, Ordering))> = proc_counts
         .into_iter()
         .flat_map(|procs| {
             [
@@ -526,8 +573,19 @@ fn run_fig02_05(cfg: &RunConfig) -> Vec<Row> {
                 (procs, "hilbert", Ordering::Reordered(Method::Hilbert)),
             ]
         })
+        .map(|(procs, label, ordering)| {
+            let key = KeyBuilder::new("fig02_05")
+                .field_usize("bodies", bodies)
+                .field_usize("page_bytes", page_bytes)
+                .field_u64("seed", seed)
+                .field_usize("procs", procs)
+                .field_str("label", label)
+                .field_str("ordering", &ordering.name())
+                .finish();
+            (key, (procs, label, ordering))
+        })
         .collect();
-    run_cells(cells, |(procs, label, ordering)| {
+    run_keyed_cells(cells, |(procs, label, ordering)| {
         let run = build_run_sized(AppKind::BarnesHut, ordering, bodies, 1, procs, seed);
         let report = page_sharing(&run.trace, &run.layout, page_bytes);
         if dump {
@@ -552,8 +610,17 @@ fn run_fig03(_cfg: &RunConfig) -> Vec<Row> {
     const SIDE: usize = 8;
     let points: Vec<[f64; 2]> =
         (0..SIDE * SIDE).map(|i| [(i % SIDE) as f64, (i / SIDE) as f64]).collect();
-    let cells: Vec<Method> = Method::ALL.to_vec();
-    run_cells(cells, |method| {
+    let cells: Vec<(CellKey, Method)> = Method::ALL
+        .iter()
+        .map(|&method| {
+            let key = KeyBuilder::new("fig03")
+                .field_usize("side", SIDE)
+                .field_str("method", method.name())
+                .finish();
+            (key, method)
+        })
+        .collect();
+    run_keyed_cells(cells, |method| {
         let reordering = compute_reordering_from_points(method, &points);
         // rank_of(cell) = position along the curve; rows are printed top-down as in
         // the paper's figure.
@@ -600,12 +667,20 @@ fn run_fig06(cfg: &RunConfig) -> Vec<Row> {
     let n = if cfg.scale == Scale::Paper { 32_000 } else { 8_000 };
     let procs = cfg.procs_or(16);
     let seed = cfg.seed_or(11);
-    let cells: Vec<(&str, Option<Method>)> = vec![
-        ("hilbert", Some(Method::Hilbert)),
-        ("column", Some(Method::Column)),
-        ("original", None),
-    ];
-    run_cells(cells, |(label, method)| {
+    let cells: Vec<(CellKey, (&str, Option<Method>))> =
+        [("hilbert", Some(Method::Hilbert)), ("column", Some(Method::Column)), ("original", None)]
+            .into_iter()
+            .map(|(label, method)| {
+                let key = KeyBuilder::new("fig06")
+                    .field_usize("molecules", n)
+                    .field_usize("procs", procs)
+                    .field_u64("seed", seed)
+                    .field_str("ordering", label)
+                    .finish();
+                (key, (label, method))
+            })
+            .collect();
+    run_keyed_cells(cells, |(label, method)| {
         let mut sim = Moldyn::lattice(n, seed, MoldynParams::default());
         if let Some(m) = method {
             sim.reorder(m);
@@ -625,8 +700,19 @@ fn run_fig07(cfg: &RunConfig) -> Vec<Row> {
     let procs = cfg.procs_or(16);
     let seed = cfg.seed_or(321);
     let cost = CostModel::default();
-    let cells: Vec<AppKind> = AppKind::ALL.to_vec();
-    run_cells(cells, |app| {
+    let cells: Vec<(CellKey, AppKind)> = AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let key = KeyBuilder::new("fig07")
+                .field_str("scale", scale_name(scale))
+                .field_usize("procs", procs)
+                .field_u64("seed", seed)
+                .field_str("app", app.name())
+                .finish();
+            (key, app)
+        })
+        .collect();
+    run_keyed_cells(cells, |app| {
         // Sequential baseline: the original version on one processor.
         let seq_run = build_run(app, Ordering::Original, scale, 1, seed);
         let seq_time = {
@@ -657,8 +743,19 @@ fn run_fig08_09(cfg: &RunConfig) -> Vec<Row> {
     let seed = cfg.seed_or(55);
     let config = DsmConfig::cluster(procs);
     let cost = NetworkCostModel::default();
-    let cells: Vec<AppKind> = AppKind::ALL.to_vec();
-    run_cells(cells, |app| {
+    let cells: Vec<(CellKey, AppKind)> = AppKind::ALL
+        .iter()
+        .map(|&app| {
+            let key = KeyBuilder::new("fig08_09")
+                .field_str("scale", scale_name(scale))
+                .field_usize("procs", procs)
+                .field_u64("seed", seed)
+                .field_str("app", app.name())
+                .finish();
+            (key, app)
+        })
+        .collect();
+    run_keyed_cells(cells, |app| {
         let speedups = |ordering: Ordering| -> (f64, f64) {
             let run = build_run(app, ordering, scale, procs, seed);
             let tmk = TreadMarksSim::new(config).run_with_layout(&run.trace, &run.layout);
@@ -1376,7 +1473,19 @@ fn run_ablation_unit_sweep(cfg: &RunConfig) -> Vec<Row> {
     });
     // Stage 2: sweep unit sizes in parallel over the shared traces.
     let traces = &traces;
-    run_cells(vec![128usize, 512, 1024, 4096, 8192, 16384], move |unit| {
+    let keyed: Vec<(CellKey, usize)> = [128usize, 512, 1024, 4096, 8192, 16384]
+        .into_iter()
+        .map(|unit| {
+            let key = KeyBuilder::new("ablation_unit_sweep")
+                .field_usize("molecules", n)
+                .field_usize("procs", procs)
+                .field_u64("seed", seed)
+                .field_usize("unit", unit)
+                .finish();
+            (key, unit)
+        })
+        .collect();
+    run_keyed_cells(keyed, move |unit| {
         let mut message_counts = Vec::new();
         let mut cells: Vec<crate::runner::Value> = vec![unit.into()];
         for (trace, layout) in traces {

@@ -20,8 +20,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod experiments;
 pub mod runner;
+pub mod scheduler;
+pub mod serve;
 pub mod trace_cmd;
 
 use std::time::Instant;

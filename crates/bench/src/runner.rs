@@ -11,25 +11,31 @@
 //! executed in parallel via [`run_cells`] (rayon worker threads, order-preserving),
 //! and results render as aligned text, JSON, or CSV via [`ExperimentResult::render`].
 //!
-//! # Fault isolation
+//! # Fault isolation and scheduling
 //!
 //! Each cell attempt runs inside `catch_unwind` on a pool worker, so one panicking
 //! or failing cell can no longer abort a whole experiment: the runner classifies
 //! every cell into a [`CellOutcome`] (ok / failed / panicked / timed-out against a
 //! wall-clock watchdog), retries failures with bounded deterministic backoff
 //! ([`FaultPolicy`]), and ships the surviving rows plus a failure summary through
-//! every output format.  See DESIGN.md §13 for the full fault model, including why
-//! the executor's panic-propagation contract keeps sibling cells and later retry
-//! rounds deadlock-free.
+//! every output format.  See DESIGN.md §13 for the full fault model.
+//!
+//! Since PR 9 the *execution* machinery lives in [`crate::scheduler`] (fair
+//! bounded dispatch across concurrent experiments, the content-addressed cell
+//! cache hook, streamed per-cell events for `xp serve`) — this module keeps the
+//! declarative side (specs, results, rendering) and re-exports the execution API
+//! under its historical paths, so `repro_bench::runner::run_cells` et al. keep
+//! working.
 
-use std::cell::RefCell;
 use std::fmt::Write as _;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::time::{Duration, Instant};
-
-use rayon::prelude::*;
+use std::time::Instant;
 
 use crate::{fmt_f, Scale};
+
+pub use crate::scheduler::{
+    par_map, run_cells, run_cells_with_policy, run_keyed_cells, CellOutcome, CellStatus,
+    FaultPolicy,
+};
 
 /// One cell value: a label, a count, or a measurement.
 #[derive(Debug, Clone, PartialEq)]
@@ -192,25 +198,9 @@ impl ExperimentSpec {
     /// retries under `policy` and reports its [`CellOutcome`]s into the result
     /// instead of aborting the experiment.
     pub fn execute_with_policy(&self, config: &RunConfig, policy: FaultPolicy) -> ExperimentResult {
-        // Restore the previous collector even if `run` panics (a spec-level panic,
-        // not a cell failure — those are caught at the attempt boundary).
-        struct Restore(Option<FaultLog>);
-        impl Drop for Restore {
-            fn drop(&mut self) {
-                let previous = self.0.take();
-                FAULT_LOG.with(|log| *log.borrow_mut() = previous);
-            }
-        }
         let t0 = Instant::now();
-        let _restore = Restore(
-            FAULT_LOG
-                .with(|log| log.borrow_mut().replace(FaultLog { policy, outcomes: Vec::new() })),
-        );
-        let rows = (self.run)(config);
-        let cell_faults = FAULT_LOG
-            .with(|log| log.borrow_mut().take())
-            .map(|log| log.outcomes)
-            .unwrap_or_default();
+        let (rows, cell_faults) =
+            crate::scheduler::with_fault_collector(policy, || (self.run)(config));
         for row in &rows {
             assert_eq!(
                 row.cells.len(),
@@ -472,297 +462,7 @@ impl ExperimentResult {
     }
 }
 
-/// How one cell of an experiment ended up, after all retries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum CellStatus {
-    /// The cell produced rows (possibly only after a retry — see
-    /// [`CellOutcome::attempts`]).
-    Ok,
-    /// The cell reported a failure (today only injectable via the `runner/cell`
-    /// failpoint; the variant is the hook the `xp serve` job queue will use for
-    /// fallible cell bodies).
-    Failed,
-    /// The cell panicked; the unwind was caught at the attempt boundary.
-    Panicked,
-    /// The cell finished but blew its wall-clock budget, so its rows were
-    /// discarded and the attempt retried (classify-and-retry, not preemption —
-    /// see DESIGN.md §13).
-    TimedOut,
-}
-
-impl CellStatus {
-    /// Stable lowercase name used by every output format.
-    pub fn name(self) -> &'static str {
-        match self {
-            CellStatus::Ok => "ok",
-            CellStatus::Failed => "failed",
-            CellStatus::Panicked => "panicked",
-            CellStatus::TimedOut => "timed-out",
-        }
-    }
-}
-
-/// Per-cell fault record: what happened to cell `cell` across its attempts.
-///
-/// Only *interesting* outcomes are kept (anything not first-attempt-ok): a clean
-/// experiment carries an empty fault list and renders byte-identically to the
-/// pre-fault-model harness.
-#[derive(Debug, Clone)]
-pub struct CellOutcome {
-    /// Index of the cell in the `run_cells` input order.
-    pub cell: usize,
-    /// Final classification after the last attempt.
-    pub status: CellStatus,
-    /// Attempts consumed (1..=`FaultPolicy::max_attempts`).
-    pub attempts: u32,
-    /// The last attempt's failure message (`None` once a retry succeeded).
-    pub error: Option<String>,
-    /// Wall-clock seconds of the last attempt.
-    pub elapsed_seconds: f64,
-}
-
-/// Retry/backoff/watchdog knobs for guarded cell execution.
-#[derive(Debug, Clone, Copy)]
-pub struct FaultPolicy {
-    /// Attempts per cell before it is reported as failed (≥ 1).
-    pub max_attempts: u32,
-    /// Base backoff slept before retry round `r` (doubling each round: the delay
-    /// schedule is a pure function of the policy, so reruns are deterministic).
-    pub backoff: Duration,
-    /// Wall-clock budget per attempt; `None` disables the watchdog.
-    pub timeout: Option<Duration>,
-}
-
-impl Default for FaultPolicy {
-    fn default() -> Self {
-        FaultPolicy { max_attempts: 3, backoff: Duration::from_millis(25), timeout: None }
-    }
-}
-
-impl FaultPolicy {
-    /// Defaults overridden by `XP_CELL_ATTEMPTS`, `XP_CELL_BACKOFF_MS`, and
-    /// `XP_CELL_TIMEOUT_MS` (0 disables the watchdog).
-    pub fn from_env() -> Self {
-        let mut policy = FaultPolicy::default();
-        if let Some(v) = env_u64("XP_CELL_ATTEMPTS") {
-            policy.max_attempts = v.clamp(1, 1000) as u32;
-        }
-        if let Some(v) = env_u64("XP_CELL_BACKOFF_MS") {
-            policy.backoff = Duration::from_millis(v);
-        }
-        if let Some(v) = env_u64("XP_CELL_TIMEOUT_MS") {
-            policy.timeout = (v > 0).then(|| Duration::from_millis(v));
-        }
-        policy
-    }
-
-    /// Backoff before retry round `attempt` (the second attempt is round 2):
-    /// `backoff * 2^(attempt - 2)`, shift-capped so pathological attempt counts
-    /// cannot overflow.
-    fn backoff_before(&self, attempt: u32) -> Duration {
-        self.backoff * (1u32 << (attempt.saturating_sub(2)).min(10))
-    }
-}
-
-fn env_u64(name: &str) -> Option<u64> {
-    std::env::var(name).ok()?.trim().parse().ok()
-}
-
-/// The per-experiment fault collector [`ExperimentSpec::execute`] installs around
-/// its `run` function.  Thread-local because specs call [`run_cells`] on the
-/// executing thread (the pool supervises *within* a `run_cells` call, never
-/// across one), so nested experiments on other threads cannot cross-contaminate.
-struct FaultLog {
-    policy: FaultPolicy,
-    outcomes: Vec<CellOutcome>,
-}
-
-thread_local! {
-    static FAULT_LOG: RefCell<Option<FaultLog>> = const { RefCell::new(None) };
-}
-
-/// Execute one experiment function per cell on rayon worker threads, flattening the
-/// produced rows in cell order.
-///
-/// This is the parallelism point of the harness: a spec builds the independent cells
-/// of its method × workload × substrate matrix and the runner fans them out.  Every
-/// cell attempt is guarded (`catch_unwind` + watchdog + bounded retry — see
-/// [`run_cells_with_policy`]); a terminally failed cell contributes no rows.  Inside
-/// [`ExperimentSpec::execute`] the outcomes land in the result's fault list; for
-/// direct callers with no collector installed, a terminal failure panics with the
-/// cell's classification instead of silently dropping data — the legacy abort-loudly
-/// contract.
-pub fn run_cells<C, F>(cells: Vec<C>, f: F) -> Vec<Row>
-where
-    C: Clone + Send,
-    F: Fn(C) -> Vec<Row> + Sync,
-{
-    let policy = FAULT_LOG
-        .with(|log| log.borrow().as_ref().map(|log| log.policy))
-        .unwrap_or_else(FaultPolicy::from_env);
-    let (rows, outcomes) = run_cells_with_policy(cells, policy, f);
-    if outcomes.is_empty() {
-        return rows;
-    }
-    let collected = FAULT_LOG.with(|log| match log.borrow_mut().as_mut() {
-        Some(log) => {
-            log.outcomes.extend(outcomes.iter().cloned());
-            true
-        }
-        None => false,
-    });
-    if !collected {
-        if let Some(worst) = outcomes.iter().find(|o| o.status != CellStatus::Ok) {
-            panic!(
-                "cell {} {} after {} attempts: {}",
-                worst.cell,
-                worst.status.name(),
-                worst.attempts,
-                worst.error.as_deref().unwrap_or("no error message")
-            );
-        }
-    }
-    rows
-}
-
-/// Guarded parallel cell execution with an explicit [`FaultPolicy`], returning the
-/// surviving rows (cell input order preserved) plus the interesting outcomes
-/// (anything that was not first-attempt-ok).
-///
-/// Round structure: round 1 fans every cell out across the pool; each later round
-/// sleeps the policy's deterministic backoff, then retries only the cells that
-/// failed, panicked, or timed out.  Attempts run under `catch_unwind`, leaning on
-/// the executor's panic contract (DESIGN.md §7): a panicking cell's siblings run to
-/// completion, the original payload is rethrown at the attempt boundary where the
-/// guard catches it, and the pool survives for the next round — proven by the
-/// nested `join`/`par_iter` tests in `tests/runner_faults.rs`.
-pub fn run_cells_with_policy<C, F>(
-    cells: Vec<C>,
-    policy: FaultPolicy,
-    f: F,
-) -> (Vec<Row>, Vec<CellOutcome>)
-where
-    C: Clone + Send,
-    F: Fn(C) -> Vec<Row> + Sync,
-{
-    let n = cells.len();
-    let mut slots: Vec<Option<Vec<Row>>> = (0..n).map(|_| None).collect();
-    let mut last_failure: Vec<Option<(CellStatus, String)>> = vec![None; n];
-    let mut attempts = vec![0u32; n];
-    let mut last_elapsed = vec![0.0f64; n];
-    let mut pending: Vec<usize> = (0..n).collect();
-    let mut round = 0u32;
-    while !pending.is_empty() && round < policy.max_attempts.max(1) {
-        round += 1;
-        if round > 1 {
-            std::thread::sleep(policy.backoff_before(round));
-        }
-        // Clone the retry cells on the supervising thread (cells stay `Clone + Send`,
-        // not `Sync`), then fan the attempts out.
-        let batch: Vec<(usize, C)> = pending.iter().map(|&i| (i, cells[i].clone())).collect();
-        let results = par_map(batch, |(i, cell)| (i, run_attempt(cell, &f, policy.timeout)));
-        pending.clear();
-        for (i, (result, elapsed)) in results {
-            attempts[i] = round;
-            last_elapsed[i] = elapsed;
-            match result {
-                Ok(rows) => {
-                    slots[i] = Some(rows);
-                    last_failure[i] = None;
-                }
-                Err(failure) => {
-                    last_failure[i] = Some(failure);
-                    pending.push(i);
-                }
-            }
-        }
-    }
-    let mut outcomes = Vec::new();
-    for i in 0..n {
-        let (status, error) = match &last_failure[i] {
-            None => (CellStatus::Ok, None),
-            Some((status, msg)) => (*status, Some(msg.clone())),
-        };
-        if status != CellStatus::Ok || attempts[i] > 1 {
-            outcomes.push(CellOutcome {
-                cell: i,
-                status,
-                attempts: attempts[i],
-                error,
-                elapsed_seconds: last_elapsed[i],
-            });
-        }
-    }
-    let rows = slots.into_iter().flatten().flatten().collect();
-    (rows, outcomes)
-}
-
-/// One guarded attempt: catch unwinds, classify explicit failures, and check the
-/// wall-clock watchdog.  Returns the classified result plus the attempt's elapsed
-/// seconds.
-///
-/// The watchdog *classifies*, it does not preempt: an attempt that exceeds its
-/// budget still runs to completion on the worker, then its rows are discarded and
-/// the cell is retried.  (Preemption needs process isolation, which is the
-/// `xp serve` follow-on; see DESIGN.md §13.)
-fn run_attempt<C, F>(
-    cell: C,
-    f: &F,
-    timeout: Option<Duration>,
-) -> (Result<Vec<Row>, (CellStatus, String)>, f64)
-where
-    C: Send,
-    F: Fn(C) -> Vec<Row> + Sync,
-{
-    let start = Instant::now();
-    let caught: std::thread::Result<Result<Vec<Row>, String>> =
-        catch_unwind(AssertUnwindSafe(|| {
-            failpoint::point!("runner/cell", |msg: String| Err(msg));
-            Ok(f(cell))
-        }));
-    let elapsed = start.elapsed();
-    let result = match caught {
-        Ok(Ok(rows)) => match timeout.filter(|budget| elapsed > *budget) {
-            Some(budget) => Err((
-                CellStatus::TimedOut,
-                format!(
-                    "attempt took {:.1} ms against a {:.1} ms budget",
-                    elapsed.as_secs_f64() * 1e3,
-                    budget.as_secs_f64() * 1e3
-                ),
-            )),
-            None => Ok(rows),
-        },
-        Ok(Err(msg)) => Err((CellStatus::Failed, msg)),
-        Err(payload) => Err((CellStatus::Panicked, panic_message(payload.as_ref()))),
-    };
-    (result, elapsed.as_secs_f64())
-}
-
-/// Best-effort text of a caught panic payload (`&str` and `String` payloads cover
-/// `panic!`; anything else is reported as opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "opaque panic payload".to_string()
-    }
-}
-
-/// Map one experiment function per cell on rayon worker threads, preserving order
-/// (for specs that need to combine cell outputs before forming rows).
-pub fn par_map<C, T, F>(cells: Vec<C>, f: F) -> Vec<T>
-where
-    C: Send,
-    T: Send,
-    F: Fn(C) -> T + Sync,
-{
-    cells.into_par_iter().map(f).collect()
-}
-
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -782,7 +482,7 @@ fn json_string(s: &str) -> String {
     out
 }
 
-fn json_f64(f: f64) -> String {
+pub(crate) fn json_f64(f: f64) -> String {
     if f.is_finite() {
         let s = format!("{f}");
         // JSON numbers need a decimal point or exponent-free integer form; `{}` on an

@@ -1,0 +1,238 @@
+//! The content-addressed cell cache, end to end: canonical keys are stable
+//! across field ordering and injective across distinct specs (property tests),
+//! an overlapping sweep computes each unique cell exactly once with rows
+//! bit-identical to an uncached run, and a warm cache reproduces every
+//! registered experiment bit-identically at tiny scale — through the in-memory
+//! store and through a disk round trip (a fresh process's view of `--cache-dir`).
+
+use std::sync::atomic::Ordering as AtomicOrdering;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use repro_bench::cache::{CellCache, CellKey, KeyBuilder};
+use repro_bench::experiments;
+use repro_bench::runner::{ExperimentResult, ExperimentSpec, RunConfig, Value};
+use repro_bench::scheduler::{JobCounters, JobSession, Scheduler};
+use repro_bench::Scale;
+
+fn tiny() -> RunConfig {
+    RunConfig { scale: Scale::Tiny, procs: None, seed: None }
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("xp-cellcache-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Run `spec` once under `scheduler` with `cache`, returning the result and the
+/// (hits, computed) counter pair.
+fn run_cached(
+    scheduler: &Scheduler,
+    cache: &Arc<CellCache>,
+    spec: &ExperimentSpec,
+    config: &RunConfig,
+) -> (ExperimentResult, u64, u64) {
+    let counters = Arc::new(JobCounters::default());
+    let session = JobSession {
+        job: scheduler.next_job_id(),
+        cache: Some(Arc::clone(cache)),
+        counters: Some(Arc::clone(&counters)),
+        ..JobSession::default()
+    };
+    let result = scheduler.execute(spec, config, session);
+    let hits = counters.cache_hits.load(AtomicOrdering::Relaxed);
+    let computed = counters.computed_cells.load(AtomicOrdering::Relaxed);
+    (result, hits, computed)
+}
+
+/// Bit-identity over rows: strings and counts compare exactly, floats by bit
+/// pattern (stricter than `==`, which would let -0.0 alias 0.0).
+fn assert_rows_bit_identical(a: &ExperimentResult, b: &ExperimentResult, what: &str) {
+    assert_eq!(a.rows.len(), b.rows.len(), "{what}: row count");
+    for (i, (ra, rb)) in a.rows.iter().zip(&b.rows).enumerate() {
+        assert_eq!(ra.cells.len(), rb.cells.len(), "{what}: row {i} width");
+        for (j, (ca, cb)) in ra.cells.iter().zip(&rb.cells).enumerate() {
+            match (ca, cb) {
+                (Value::Float(x), Value::Float(y)) => {
+                    assert_eq!(x.to_bits(), y.to_bits(), "{what}: row {i} col {j} float bits");
+                }
+                _ => assert_eq!(ca, cb, "{what}: row {i} col {j}"),
+            }
+        }
+    }
+}
+
+/// Full-artifact bit-identity: every render (text table, JSON including the
+/// cell_faults array, CSV) must match byte for byte once the one legitimately
+/// differing field — result-level wall-clock — is normalized away.
+fn assert_renders_bit_identical(a: &ExperimentResult, b: &mut ExperimentResult, what: &str) {
+    b.elapsed_seconds = a.elapsed_seconds;
+    for format in [
+        repro_bench::runner::Format::Text,
+        repro_bench::runner::Format::Json,
+        repro_bench::runner::Format::Csv,
+    ] {
+        assert_eq!(a.render(format), b.render(format), "{what}: {format:?} render");
+    }
+}
+
+/// The specs whose cells are pure functions of (config, cell) and therefore
+/// carry cache keys.  The wall-clock benches, `table1`/`table4` (layout prose
+/// and par_map summaries) and the reorder-frequency ablation measure elapsed
+/// time inside their rows, so caching them would fabricate measurements —
+/// they stay unkeyed by design.
+const KEYED_SPECS: &[&str] = &[
+    "table2",
+    "table3",
+    "fig01_04",
+    "fig02_05",
+    "fig03",
+    "fig06",
+    "fig07",
+    "fig08_09",
+    "ablation_unit_sweep",
+];
+
+#[test]
+fn overlapping_sweep_computes_each_unique_cell_exactly_once() {
+    let spec = experiments::find("fig6").expect("fig6 registered");
+    let config = tiny();
+    // Uncached baseline: what the pre-cache runner produced.
+    let baseline = spec.execute(&config);
+    assert!(baseline.cell_faults.is_empty(), "clean baseline expected");
+
+    let scheduler = Scheduler::new(2);
+    let cache = Arc::new(CellCache::new());
+    let (first, hits1, computed1) = run_cached(&scheduler, &cache, spec, &config);
+    let (mut second, hits2, computed2) = run_cached(&scheduler, &cache, spec, &config);
+
+    // Every unique cell computed exactly once, in the first pass.
+    assert_eq!(hits1, 0, "cold run cannot hit");
+    assert_eq!(computed1, 3, "fig06 has three cells");
+    assert_eq!(hits2, 3, "warm run answers every cell from the cache");
+    assert_eq!(computed2, 0, "warm run recomputes nothing");
+
+    // And both passes are bit-identical to the uncached runner.
+    assert_rows_bit_identical(&baseline, &first, "cold vs uncached");
+    assert_rows_bit_identical(&baseline, &second, "warm vs uncached");
+    assert_renders_bit_identical(&first, &mut second, "warm vs cold");
+}
+
+#[test]
+fn warm_cache_reproduces_every_registered_spec_bit_identically() {
+    let config = tiny();
+    let scheduler = Scheduler::pool_sized();
+    let cache = Arc::new(CellCache::new());
+    for spec in experiments::all() {
+        let keyed = KEYED_SPECS.contains(&spec.id);
+        let lookups_before = cache.stats().lookups();
+        let (cold, cold_hits, _) = run_cached(&scheduler, &cache, spec, &config);
+        assert!(cold.cell_faults.is_empty(), "{}: cold faults", spec.id);
+        assert_eq!(cold_hits, 0, "{}: first run of a spec cannot hit", spec.id);
+        if keyed {
+            // Warm pass: every cell answered from the cache, artifact unchanged.
+            let (mut warm, hits, computed) = run_cached(&scheduler, &cache, spec, &config);
+            assert!(warm.cell_faults.is_empty(), "{}: warm faults", spec.id);
+            assert!(hits > 0, "{}: a keyed spec must dedupe on rerun", spec.id);
+            assert_eq!(computed, 0, "{}: a fully keyed spec recomputes nothing", spec.id);
+            assert_renders_bit_identical(&cold, &mut warm, spec.id);
+        } else {
+            // Unkeyed specs (wall-clock benches and prose tables) must leave the
+            // cache untouched — caching them would fabricate measurements.  Their
+            // rows are timing-bearing, so a second run would not be comparable
+            // and is skipped.
+            assert_eq!(
+                cache.stats().lookups(),
+                lookups_before,
+                "{}: an unkeyed spec must not consult the cache",
+                spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn disk_cache_round_trips_bit_identically_across_cache_instances() {
+    let dir = temp_dir("roundtrip");
+    let spec = experiments::find("fig06").expect("fig06 registered");
+    let config = tiny();
+
+    let cold = {
+        let scheduler = Scheduler::new(2);
+        let cache = Arc::new(CellCache::with_disk(&dir).unwrap());
+        let (cold, _, computed) = run_cached(&scheduler, &cache, spec, &config);
+        assert_eq!(computed, 3);
+        cold
+    };
+    // A fresh cache over the same directory models a new process with the same
+    // --cache-dir: memory is empty, so every cell must come back off disk.
+    let scheduler = Scheduler::new(2);
+    let cache = Arc::new(CellCache::with_disk(&dir).unwrap());
+    let (mut warm, hits, computed) = run_cached(&scheduler, &cache, spec, &config);
+    assert_eq!((hits, computed), (3, 0), "all cells served from disk");
+    assert_eq!(cache.stats().disk_hits, 3);
+    assert_renders_bit_identical(&cold, &mut warm, "disk warm vs cold");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Deterministic "arbitrary spec" for the key properties: a domain index and a
+/// small map of field name indices to values, mirroring how experiments.rs
+/// builds keys (string, integer and float fields).
+fn build_key(domain: usize, fields: &[(usize, u64)]) -> CellKey {
+    let mut builder = KeyBuilder::new(&format!("spec{domain}"));
+    for &(name, value) in fields {
+        builder = match name % 3 {
+            0 => builder.field_u64(&format!("f{name}"), value),
+            1 => builder.field_str(&format!("f{name}"), &format!("v{value}")),
+            _ => builder.field_f64(&format!("f{name}"), value as f64 / 7.0),
+        };
+    }
+    builder.finish()
+}
+
+/// Field lists with distinct names, as sets (order-independent comparison).
+fn field_set(fields: &[(usize, u64)]) -> std::collections::BTreeMap<usize, u64> {
+    fields.iter().copied().collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cell_key_is_stable_across_field_ordering(
+        args in (0usize..4, prop::collection::vec((0usize..12, 0u64..1000), 1..8), 1usize..8)
+    ) {
+        let (domain, mut fields, rot) = args;
+        // Distinct names only: duplicate fields are a caller bug, not a schema case.
+        fields.sort_by_key(|&(name, _)| name);
+        fields.dedup_by_key(|&mut (name, _)| name);
+        let in_order = build_key(domain, &fields);
+        let mut rotated = fields.clone();
+        let pivot = rot % rotated.len().max(1);
+        rotated.rotate_left(pivot);
+        prop_assert_eq!(in_order, build_key(domain, &rotated));
+        let mut reversed = fields.clone();
+        reversed.reverse();
+        prop_assert_eq!(in_order, build_key(domain, &reversed));
+    }
+
+    #[test]
+    fn cell_key_is_injective_over_distinct_specs(
+        args in (
+            (0usize..4, prop::collection::vec((0usize..12, 0u64..1000), 0..6)),
+            (0usize..4, prop::collection::vec((0usize..12, 0u64..1000), 0..6)),
+        )
+    ) {
+        let ((da, mut fa), (db, mut fb)) = args;
+        fa.sort_by_key(|&(name, _)| name);
+        fa.dedup_by_key(|&mut (name, _)| name);
+        fb.sort_by_key(|&(name, _)| name);
+        fb.dedup_by_key(|&mut (name, _)| name);
+        let same = da == db && field_set(&fa) == field_set(&fb);
+        if !same {
+            prop_assert_ne!(build_key(da, &fa), build_key(db, &fb));
+        }
+    }
+}

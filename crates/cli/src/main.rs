@@ -18,12 +18,18 @@
 //! Cells of each experiment's method × workload × substrate matrix run in parallel
 //! on all host cores (cap with `RAYON_NUM_THREADS`).
 
+use std::io;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
 
 use reorder::Method;
+use repro_bench::cache::CellCache;
 use repro_bench::experiments;
 use repro_bench::runner::{ExperimentSpec, Format, RunConfig};
+use repro_bench::scheduler::{JobCounters, JobSession, Scheduler};
+use repro_bench::serve::{serve_session, ServeShared};
 use repro_bench::trace_cmd::{self, ReplayTarget};
 use repro_bench::{AppKind, Scale};
 
@@ -36,7 +42,8 @@ USAGE:
     xp ablation <name>        [options]   (reorder-frequency | unit-sweep)
     xp bench <name>           [options]   (reorder-cost | sim-throughput | dsm-throughput | gen-throughput)
     xp run <id-or-alias>      [options]
-    xp sweep                  [options]   run every experiment
+    xp sweep [id...]          [options]   run every (or the listed) experiment(s)
+    xp serve                  [options]   NDJSON job server on stdin/stdout
     xp list                               list experiments
     xp trace record  --app <name> --out <corpus> [--order <method>] [options]
     xp trace replay  --in <corpus> [--into <sim|dsm>] [--lenient] [options]
@@ -50,7 +57,18 @@ OPTIONS:
     --scale <tiny|small|paper> problem sizes (default: small, or REPRO_FULL=1)
     --procs <N>               override the virtual-processor count
     --seed <N>                override the workload seed
+    --jobs <N>                bound concurrent cell attempts (default: pool width)
+    --cache-dir <path>        persist computed cells on disk (sweep and serve)
     -h, --help                this help
+
+SERVE OPTIONS:
+    --socket <path>           listen on a Unix socket instead of stdin/stdout
+
+`xp serve` reads one JSON request per line ({\"cmd\": \"submit\" | \"status\" |
+\"cancel\" | \"result\" | \"shutdown\"}) and streams one JSON event per line back;
+identical cells across submissions are answered from the cell cache.  EOF or
+SIGTERM drains in-flight jobs before exiting.  `xp sweep` with a repeated or
+overlapping id list computes each unique cell once for the same reason.
 
 TRACE OPTIONS:
     --app <name>              barnes-hut | fmm | water-spatial | moldyn | unstructured
@@ -70,6 +88,11 @@ struct Options {
     format: Format,
     out: Option<PathBuf>,
     config: RunConfig,
+    /// `--jobs N`: bound on concurrent cell attempts (scheduler slots, and the
+    /// executor pool width for direct commands).
+    jobs: Option<usize>,
+    /// `--cache-dir PATH`: on-disk layer of the cell cache (sweep and serve).
+    cache_dir: Option<PathBuf>,
 }
 
 fn fail(message: &str) -> ExitCode {
@@ -82,6 +105,8 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut format = Format::Text;
     let mut out = None;
     let mut config = RunConfig::from_env();
+    let mut jobs = None;
+    let mut cache_dir = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for =
@@ -114,10 +139,22 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 config.seed =
                     Some(v.parse().map_err(|_| format!("--seed expects a number, got {v:?}"))?);
             }
+            "--jobs" => {
+                let v = value_for("--jobs")?;
+                let n: usize =
+                    v.parse().map_err(|_| format!("--jobs expects a number, got {v:?}"))?;
+                if n == 0 {
+                    return Err(
+                        "--jobs must be at least 1 (0 would mean no cell ever runs)".to_string()
+                    );
+                }
+                jobs = Some(n);
+            }
+            "--cache-dir" => cache_dir = Some(PathBuf::from(value_for("--cache-dir")?)),
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Options { format, out, config })
+    Ok(Options { format, out, config, jobs, cache_dir })
 }
 
 fn emit(rendered: &str, out: Option<&Path>) -> Result<(), String> {
@@ -194,6 +231,9 @@ fn run_trace(args: &[String]) -> Result<(), String> {
     };
     let (flags, rest) = split_trace_flags(&args[1..])?;
     let options = parse_options(&rest)?;
+    if options.cache_dir.is_some() {
+        return Err("--cache-dir only applies to `xp sweep` and `xp serve`".to_string());
+    }
     // Validate the output path before any recording or decoding runs (for `record`
     // and `recover` the --out path is the corpus itself and the command prepares it).
     if action != "record" && action != "recover" {
@@ -201,7 +241,7 @@ fn run_trace(args: &[String]) -> Result<(), String> {
             trace_cmd::ensure_parent_dir(out)?;
         }
     }
-    match action {
+    let go = || match action {
         "record" => {
             let app = flags.app.ok_or("`xp trace record` needs --app <name>")?;
             let out = options
@@ -236,6 +276,10 @@ fn run_trace(args: &[String]) -> Result<(), String> {
         other => {
             Err(format!("unknown trace action {other:?} (try record, replay, info or recover)"))
         }
+    };
+    match options.jobs {
+        Some(n) => rayon::with_num_threads(n, go),
+        None => go(),
     }
 }
 
@@ -250,7 +294,27 @@ fn run_one(spec: &ExperimentSpec, options: &Options) -> Result<(), String> {
     }
 }
 
-fn run_sweep(options: &Options) -> Result<(), String> {
+/// Build the cell cache an `xp sweep` or `xp serve` invocation shares across
+/// experiments: in-memory always, disk-backed when `--cache-dir` is given.
+fn open_cache(cache_dir: Option<&Path>) -> Result<Arc<CellCache>, String> {
+    let cache = match cache_dir {
+        Some(dir) => CellCache::with_disk(dir)
+            .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
+        None => CellCache::new(),
+    };
+    Ok(Arc::new(cache))
+}
+
+fn run_sweep(ids: &[String], options: &Options) -> Result<(), String> {
+    let specs: Vec<&'static ExperimentSpec> = if ids.is_empty() {
+        experiments::all().iter().collect()
+    } else {
+        ids.iter()
+            .map(|id| {
+                experiments::find(id).ok_or(format!("no experiment named {id:?} (try `xp list`)"))
+            })
+            .collect::<Result<_, _>>()?
+    };
     let out_dir = options.out.clone().unwrap_or_else(|| PathBuf::from("xp-out"));
     std::fs::create_dir_all(&out_dir)
         .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
@@ -258,18 +322,42 @@ fn run_sweep(options: &Options) -> Result<(), String> {
     // cores, so running two heavyweight experiments at once would only oversubscribe.
     // A cell failure does not stop the sweep — every experiment still writes its
     // artifact (with its failure summary) — but the sweep itself then exits nonzero.
+    // All experiments share one content-addressed cache: a repeated or overlapping
+    // id list computes each unique cell exactly once.
+    let slots = options.jobs.unwrap_or_else(|| rayon::current_num_threads().max(1));
+    let scheduler = Scheduler::new(slots);
+    let cache = open_cache(options.cache_dir.as_deref())?;
     let mut failures = Vec::new();
-    for spec in experiments::all() {
+    for spec in &specs {
         eprintln!("running {} ...", spec.id);
-        let result = spec.execute(&options.config);
+        let counters = Arc::new(JobCounters::default());
+        let session = JobSession {
+            job: scheduler.next_job_id(),
+            cache: Some(Arc::clone(&cache)),
+            counters: Some(Arc::clone(&counters)),
+            ..JobSession::default()
+        };
+        let result = scheduler.execute(spec, &options.config, session);
         let path = out_dir.join(format!("{}.{}", spec.id, options.format.extension()));
         emit(&result.render(options.format), Some(&path))?;
+        let hits = counters.cache_hits.load(std::sync::atomic::Ordering::Relaxed);
+        if hits > 0 {
+            let computed = counters.computed_cells.load(std::sync::atomic::Ordering::Relaxed);
+            eprintln!("  cache: {hits} cell(s) reused, {computed} computed");
+        }
         if let Some(reason) = result.failure_error() {
             eprintln!("FAILED: {reason}");
             failures.push(reason);
         }
     }
-    eprintln!("sweep complete: {} experiments in {}", experiments::all().len(), out_dir.display());
+    let stats = cache.stats();
+    eprintln!(
+        "sweep complete: {} experiments in {} ({} cache hits / {} cell lookups)",
+        specs.len(),
+        out_dir.display(),
+        stats.hits(),
+        stats.lookups()
+    );
     if failures.is_empty() {
         Ok(())
     } else {
@@ -278,6 +366,89 @@ fn run_sweep(options: &Options) -> Result<(), String> {
             failures.len(),
             failures.join("\n  ")
         ))
+    }
+}
+
+#[cfg(unix)]
+mod signals {
+    //! SIGTERM/SIGINT → graceful drain, without pulling in a signal crate.
+    //!
+    //! The handler itself may only do async-signal-safe work, so it flips a
+    //! process-wide static; a watcher thread mirrors that into the serve
+    //! session's shared shutdown flag, which the session polls every 100 ms.
+
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    static TERMINATED: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn note_signal(_signum: i32) {
+        TERMINATED.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn drain_on_termination(shutdown: Arc<AtomicBool>) {
+        unsafe {
+            signal(SIGTERM, note_signal);
+            signal(SIGINT, note_signal);
+        }
+        std::thread::spawn(move || {
+            while !TERMINATED.load(Ordering::SeqCst) {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            shutdown.store(true, Ordering::SeqCst);
+        });
+    }
+}
+
+/// Flags specific to `xp serve`, peeled off before the shared options.
+fn run_serve(args: &[String]) -> Result<(), String> {
+    let mut socket: Option<PathBuf> = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--socket" => {
+                let v = it.next().ok_or("--socket requires a value")?;
+                socket = Some(PathBuf::from(v));
+            }
+            other => rest.push(other.to_string()),
+        }
+    }
+    let options = parse_options(&rest)?;
+    if options.out.is_some() {
+        return Err("`xp serve` streams NDJSON to stdout; --out is not supported".to_string());
+    }
+    // --scale/--procs/--seed/--format have no global meaning here: every submit
+    // request carries its own scale, procs and seed.
+    let slots = options.jobs.unwrap_or_else(|| rayon::current_num_threads().max(1));
+    let cache = open_cache(options.cache_dir.as_deref())?;
+    let shared = Arc::new(ServeShared::new(slots, cache));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    #[cfg(unix)]
+    signals::drain_on_termination(Arc::clone(&shutdown));
+    match socket {
+        Some(path) => {
+            #[cfg(unix)]
+            {
+                repro_bench::serve::serve_unix_socket(&path, shared, shutdown)
+                    .map_err(|e| format!("serve on {}: {e}", path.display()))
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                Err("--socket needs a Unix platform".to_string())
+            }
+        }
+        None => serve_session(io::BufReader::new(io::stdin()), io::stdout(), shared, shutdown)
+            .map_err(|e| format!("serve: {e}")),
     }
 }
 
@@ -311,8 +482,15 @@ fn main() -> ExitCode {
             Err(message) => fail(&message),
         };
     }
+    if command == "serve" {
+        return match run_serve(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => fail(&message),
+        };
+    }
 
     // Subcommands that name an experiment, then take shared options.
+    let mut sweep_ids: Vec<String> = Vec::new();
     let (spec_name, rest): (String, &[String]) = match command {
         "table" | "fig" => {
             let Some(number) = args.get(1) else {
@@ -326,7 +504,15 @@ fn main() -> ExitCode {
             };
             (name.clone(), &args[2..])
         }
-        "sweep" => (String::new(), &args[1..]),
+        "sweep" => {
+            // Leading non-flag arguments select (and may repeat) experiments.
+            let mut idx = 1;
+            while idx < args.len() && !args[idx].starts_with('-') {
+                sweep_ids.push(args[idx].clone());
+                idx += 1;
+            }
+            (String::new(), &args[idx..])
+        }
         other => return fail(&format!("unknown command {other:?}")),
     };
 
@@ -346,13 +532,25 @@ fn main() -> ExitCode {
         }
     }
 
-    let outcome = if command == "sweep" {
-        run_sweep(&options)
-    } else {
-        match experiments::find(&spec_name) {
-            Some(spec) => run_one(spec, &options),
-            None => Err(format!("no experiment named {spec_name:?} (try `xp list`)")),
+    if options.cache_dir.is_some() && command != "sweep" {
+        return fail("--cache-dir only applies to `xp sweep` and `xp serve`");
+    }
+
+    let go = || {
+        if command == "sweep" {
+            run_sweep(&sweep_ids, &options)
+        } else {
+            match experiments::find(&spec_name) {
+                Some(spec) => run_one(spec, &options),
+                None => Err(format!("no experiment named {spec_name:?} (try `xp list`)")),
+            }
         }
+    };
+    // --jobs bounds the executor pool for this command (and, for sweep, the
+    // scheduler's slot count built inside the override).
+    let outcome = match options.jobs {
+        Some(n) => rayon::with_num_threads(n, go),
+        None => go(),
     };
     match outcome {
         Ok(()) => ExitCode::SUCCESS,

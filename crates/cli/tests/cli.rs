@@ -1,0 +1,101 @@
+//! Black-box tests of the `xp` binary surface added with the scheduler/cache
+//! split: `--jobs` validation, serve-over-stdin, and sweep-level deduplication.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn xp() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_xp"))
+}
+
+#[test]
+fn jobs_zero_is_rejected_with_a_clear_error() {
+    let out = xp().args(["run", "fig3", "--jobs", "0"]).output().unwrap();
+    assert!(!out.status.success(), "--jobs 0 must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--jobs must be at least 1"), "got: {stderr}");
+    // An error, not a panic.
+    assert!(!stderr.contains("panicked"), "got: {stderr}");
+}
+
+#[test]
+fn jobs_one_still_runs_an_experiment() {
+    let out = xp().args(["run", "fig3", "--jobs", "1", "--scale", "tiny"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("hilbert"));
+}
+
+#[test]
+fn serve_on_stdin_dedupes_across_submissions() {
+    use std::io::{BufRead, BufReader};
+
+    let mut child = xp()
+        .args(["serve", "--jobs", "2"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut stdin = child.stdin.take().unwrap();
+    let mut reader = BufReader::new(child.stdout.take().unwrap());
+
+    // The cache dedupes completed cells, so submit the second job only after
+    // the first one's done event — then its every cell must be a hit.
+    stdin
+        .write_all(
+            b"{\"cmd\": \"submit\", \"experiment\": \"fig3\", \"scale\": \"tiny\", \"job\": 1}\n",
+        )
+        .unwrap();
+    let mut lines = Vec::new();
+    loop {
+        let mut line = String::new();
+        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "server hung up: {lines:?}");
+        lines.push(line.trim_end().to_string());
+        if lines.last().unwrap().contains("\"event\": \"done\"") {
+            break;
+        }
+    }
+    stdin
+        .write_all(
+            b"{\"cmd\": \"submit\", \"experiment\": \"fig3\", \"scale\": \"tiny\", \"job\": 2}\n",
+        )
+        .unwrap();
+    // Dropping stdin is the EOF that drains the session.
+    drop(stdin);
+    for line in reader.lines() {
+        lines.push(line.unwrap());
+    }
+    let status = child.wait().unwrap();
+    assert!(status.success());
+
+    let dones: Vec<&String> = lines.iter().filter(|l| l.contains("\"event\": \"done\"")).collect();
+    assert_eq!(dones.len(), 2, "{lines:?}");
+    assert!(
+        dones[1].contains("\"cache_hits\": 4") && dones[1].contains("\"computed\": 0"),
+        "the second submission must be fully deduplicated: {lines:?}"
+    );
+    assert!(lines.iter().any(|l| l.contains("\"event\": \"bye\"")), "{lines:?}");
+}
+
+#[test]
+fn overlapping_sweep_reports_reused_cells() {
+    let dir = std::env::temp_dir().join(format!("xp-sweep-overlap-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = xp()
+        .args(["sweep", "fig3", "fig03", "--scale", "tiny", "--out"])
+        .arg(&dir)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("4 cache hits / 8 cell lookups"), "got: {stderr}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn sweep_rejects_unknown_experiment_ids() {
+    let out = xp().args(["sweep", "fig3", "nonsense"]).output().unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("no experiment named \"nonsense\""), "got: {stderr}");
+}
