@@ -32,7 +32,7 @@ use std::time::{Duration, Instant};
 
 use rayon::prelude::*;
 
-use crate::cache::{CellCache, CellKey};
+use crate::cache::{CellCache, CellKey, ClaimGuard, Flight};
 use crate::runner::{ExperimentResult, ExperimentSpec, Row, RunConfig};
 
 /// How one cell of an experiment ended up, after all retries.
@@ -207,6 +207,9 @@ pub struct JobSession {
     pub cancel: Option<Arc<AtomicBool>>,
     /// Hit/computed counters for the job's summary.
     pub counters: Option<Arc<JobCounters>>,
+    /// Per-job fault policy override; `None` falls back to the environment
+    /// (`XP_CELL_ATTEMPTS` / `XP_CELL_BACKOFF_MS` / `XP_CELL_TIMEOUT_MS`).
+    pub policy: Option<FaultPolicy>,
 }
 
 /// One streamed per-cell progress record (`attempt == 0` means a cache hit; a
@@ -294,7 +297,10 @@ impl Scheduler {
             counters: session.counters,
         };
         let _restore = Restore(JOB_CTX.with(|slot| slot.borrow_mut().replace(ctx)));
-        spec.execute(config)
+        match session.policy {
+            Some(policy) => spec.execute_with_policy(config, policy),
+            None => spec.execute(config),
+        }
     }
 }
 
@@ -508,120 +514,184 @@ where
     let mut pending: Vec<usize> = (0..n).collect();
 
     // Cache resolution: hits are settled here, before any slot is taken — a
-    // fully cached experiment costs zero pool time.
+    // fully cached experiment costs zero pool time.  Under single-flight, each
+    // missing cell is either *claimed* (we own it, with a guard that releases
+    // on any exit path) or *parked* (another job or process is computing it;
+    // we wait outside the wave queue and re-acquire below).
+    let mut waiting: Vec<usize> = Vec::new();
+    let mut guards: HashMap<usize, ClaimGuard> = HashMap::new();
     if let (Some(keys), Some(ctx)) = (&keys, &ctx) {
         if let Some(cache) = &ctx.cache {
-            pending.retain(|&i| match cache.get(keys[i]) {
-                Some(rows) => {
-                    slots[i] = Some(rows.as_ref().clone());
-                    if let Some(counters) = &ctx.counters {
-                        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+            if cache.single_flight() {
+                pending.retain(|&i| match cache.acquire(keys[i]) {
+                    Flight::Hit(rows) => {
+                        settle_cache_hit(ctx, &mut slots, i, &rows);
+                        false
                     }
-                    emit(
-                        ctx,
-                        CellEvent {
-                            job: ctx.job,
-                            cell: i,
-                            status: CellStatus::Ok,
-                            attempt: 0,
-                            cache_hit: true,
-                            elapsed_seconds: 0.0,
-                        },
-                    );
-                    false
-                }
-                None => true,
-            });
+                    Flight::Claimed(guard) => {
+                        guards.insert(i, guard);
+                        true
+                    }
+                    Flight::Busy => {
+                        waiting.push(i);
+                        false
+                    }
+                });
+            } else {
+                pending.retain(|&i| match cache.get(keys[i]) {
+                    Some(rows) => {
+                        settle_cache_hit(ctx, &mut slots, i, &rows);
+                        false
+                    }
+                    None => true,
+                });
+            }
         }
     }
 
-    let mut round = 0u32;
-    while !pending.is_empty() && round < policy.max_attempts.max(1) {
-        round += 1;
-        if round > 1 {
-            std::thread::sleep(policy.backoff_before(round));
-        }
-        let mut next_pending = Vec::new();
-        let mut at = 0usize;
-        while at < pending.len() {
-            check_cancelled(&ctx);
-            // Meter the wave: under a scheduler, take as many slots as the fair
-            // queue grants this turn; standalone, run the whole round at once
-            // (the pre-scheduler behaviour).
-            let (grant, width) = match &ctx {
-                Some(ctx) => {
-                    let grant = ctx.queue.acquire_up_to(ctx.job, pending.len() - at);
-                    let width = grant.granted;
-                    (Some(grant), width)
-                }
-                None => (None, pending.len() - at),
-            };
-            // Clone the wave's cells on the supervising thread (cells stay
-            // `Clone + Send`, not `Sync`), then fan the attempts out.
-            let batch: Vec<(usize, C)> = pending[at..(at + width).min(pending.len())]
-                .iter()
-                .map(|&i| (i, cells[i].clone()))
-                .collect();
-            at += batch.len();
-            let results = par_map(batch, |(i, cell)| (i, run_attempt(cell, f, policy.timeout)));
-            drop(grant);
-            for (i, (result, elapsed)) in results {
-                attempts[i] = round;
-                last_elapsed[i] = elapsed;
-                match result {
-                    Ok(rows) => {
-                        if let Some(ctx) = &ctx {
-                            if let (Some(keys), Some(cache)) = (&keys, &ctx.cache) {
-                                // Write-back on the supervising thread: later
-                                // lookups (same sweep or same serve session)
-                                // already see it.  Persistence failures degrade
-                                // to in-memory caching, loudly.
-                                if let Err(error) = cache.insert(keys[i], Arc::new(rows.clone())) {
-                                    eprintln!(
-                                        "xp: cache write for cell {} failed: {error}",
-                                        keys[i]
-                                    );
-                                }
-                            }
-                            if let Some(counters) = &ctx.counters {
-                                counters.computed_cells.fetch_add(1, Ordering::Relaxed);
-                            }
-                            emit(
-                                ctx,
-                                CellEvent {
-                                    job: ctx.job,
-                                    cell: i,
-                                    status: CellStatus::Ok,
-                                    attempt: round,
-                                    cache_hit: false,
-                                    elapsed_seconds: elapsed,
-                                },
-                            );
-                        }
-                        slots[i] = Some(rows);
-                        last_failure[i] = None;
+    loop {
+        let mut round = 0u32;
+        while !pending.is_empty() && round < policy.max_attempts.max(1) {
+            round += 1;
+            if round > 1 {
+                std::thread::sleep(policy.backoff_before(round));
+            }
+            let mut next_pending = Vec::new();
+            let mut at = 0usize;
+            while at < pending.len() {
+                check_cancelled(&ctx);
+                // Meter the wave: under a scheduler, take as many slots as the fair
+                // queue grants this turn; standalone, run the whole round at once
+                // (the pre-scheduler behaviour).
+                let (grant, width) = match &ctx {
+                    Some(ctx) => {
+                        let grant = ctx.queue.acquire_up_to(ctx.job, pending.len() - at);
+                        let width = grant.granted;
+                        (Some(grant), width)
                     }
-                    Err((status, message)) => {
-                        if let Some(ctx) = &ctx {
-                            emit(
-                                ctx,
-                                CellEvent {
-                                    job: ctx.job,
-                                    cell: i,
-                                    status,
-                                    attempt: round,
-                                    cache_hit: false,
-                                    elapsed_seconds: elapsed,
-                                },
-                            );
+                    None => (None, pending.len() - at),
+                };
+                // Clone the wave's cells on the supervising thread (cells stay
+                // `Clone + Send`, not `Sync`), then fan the attempts out.
+                let batch: Vec<(usize, C)> = pending[at..(at + width).min(pending.len())]
+                    .iter()
+                    .map(|&i| (i, cells[i].clone()))
+                    .collect();
+                at += batch.len();
+                let results = par_map(batch, |(i, cell)| (i, run_attempt(cell, f, policy.timeout)));
+                drop(grant);
+                for (i, (result, elapsed)) in results {
+                    attempts[i] = round;
+                    last_elapsed[i] = elapsed;
+                    match result {
+                        Ok(rows) => {
+                            if let Some(ctx) = &ctx {
+                                if let (Some(keys), Some(cache)) = (&keys, &ctx.cache) {
+                                    // Write-back on the supervising thread: later
+                                    // lookups (same sweep or same serve session)
+                                    // already see it.  Persistence failures degrade
+                                    // to in-memory caching, loudly.
+                                    if let Err(error) =
+                                        cache.insert(keys[i], Arc::new(rows.clone()))
+                                    {
+                                        eprintln!(
+                                            "xp: cache write for cell {} failed: {error}",
+                                            keys[i]
+                                        );
+                                    }
+                                }
+                                if let Some(counters) = &ctx.counters {
+                                    counters.computed_cells.fetch_add(1, Ordering::Relaxed);
+                                }
+                                emit(
+                                    ctx,
+                                    CellEvent {
+                                        job: ctx.job,
+                                        cell: i,
+                                        status: CellStatus::Ok,
+                                        attempt: round,
+                                        cache_hit: false,
+                                        elapsed_seconds: elapsed,
+                                    },
+                                );
+                            }
+                            slots[i] = Some(rows);
+                            last_failure[i] = None;
+                            // Publish happened above (cache.insert): only now is the
+                            // single-flight claim released, so waiters wake to a hit.
+                            guards.remove(&i);
                         }
-                        last_failure[i] = Some((status, message));
-                        next_pending.push(i);
+                        Err((status, message)) => {
+                            if let Some(ctx) = &ctx {
+                                emit(
+                                    ctx,
+                                    CellEvent {
+                                        job: ctx.job,
+                                        cell: i,
+                                        status,
+                                        attempt: round,
+                                        cache_hit: false,
+                                        elapsed_seconds: elapsed,
+                                    },
+                                );
+                            }
+                            last_failure[i] = Some((status, message));
+                            next_pending.push(i);
+                        }
                     }
                 }
             }
+            pending = next_pending;
         }
-        pending = next_pending;
+
+        // Cells still pending exhausted their retry budget: abandon their
+        // claims so a parked waiter (this process or another) steals and tries
+        // for itself instead of wedging on a terminally failed claimant.
+        for i in pending.drain(..) {
+            guards.remove(&i);
+        }
+        if waiting.is_empty() {
+            break;
+        }
+
+        // Re-poll parked cells.  This happens on the supervising thread with
+        // zero slots held — waiting never occupies the wave queue, so
+        // cross-job blocking cannot deadlock the pool or starve the rotation.
+        check_cancelled(&ctx);
+        let (keys, ctx) = (
+            keys.as_ref().expect("waiting implies keyed cells"),
+            ctx.as_ref().expect("waiting implies a job context"),
+        );
+        let cache = ctx.cache.as_ref().expect("waiting implies a cache");
+        let mut progressed = false;
+        let mut still_waiting = Vec::new();
+        for i in waiting.drain(..) {
+            match cache.acquire(keys[i]) {
+                Flight::Hit(rows) => {
+                    // A single-flight win: settled by someone else's compute.
+                    cache.note_flight_wait();
+                    settle_cache_hit(ctx, &mut slots, i, &rows);
+                    progressed = true;
+                }
+                Flight::Claimed(guard) => {
+                    // The claimant died or gave up — we stole the claim; the
+                    // cell re-enters the wave loop with a fresh retry budget.
+                    guards.insert(i, guard);
+                    pending.push(i);
+                    progressed = true;
+                }
+                Flight::Busy => still_waiting.push(i),
+            }
+        }
+        waiting = still_waiting;
+        if !progressed {
+            // Nothing to compute and nothing settled: park until a publish or
+            // release (or a fraction of the lease period, so an expired lease
+            // is noticed promptly even if its owner died without a wakeup).
+            let poll = (cache.lease_period() / 8)
+                .clamp(Duration::from_millis(10), Duration::from_millis(50));
+            cache.wait_change(poll);
+        }
     }
     let mut outcomes = Vec::new();
     for i in 0..n {
@@ -641,6 +711,27 @@ where
     }
     let rows = slots.into_iter().flatten().flatten().collect();
     (rows, outcomes)
+}
+
+/// Settle cell `i` from cached rows: count it as a hit and stream the attempt-0
+/// event.  Cells settled by waiting on another job's claim go through here too,
+/// so concurrent single-flight counters match serial submission bit-for-bit.
+fn settle_cache_hit(ctx: &JobCtx, slots: &mut [Option<Vec<Row>>], i: usize, rows: &[Row]) {
+    slots[i] = Some(rows.to_vec());
+    if let Some(counters) = &ctx.counters {
+        counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+    emit(
+        ctx,
+        CellEvent {
+            job: ctx.job,
+            cell: i,
+            status: CellStatus::Ok,
+            attempt: 0,
+            cache_hit: true,
+            elapsed_seconds: 0.0,
+        },
+    );
 }
 
 fn emit(ctx: &JobCtx, event: CellEvent) {

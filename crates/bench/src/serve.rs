@@ -212,9 +212,11 @@ where
     let stats = shared.cache.stats();
     let jobs_run = jobs.lock().expect("jobs lock").len();
     let _ = out_tx.send(format!(
-        "{{\"event\": \"bye\", \"jobs\": {jobs_run}, \"cache_hits\": {}, \"cache_misses\": {}}}",
+        "{{\"event\": \"bye\", \"jobs\": {jobs_run}, \"cache_hits\": {}, \"cache_misses\": {}, \
+         \"disk_errors\": {}}}",
         stats.hits(),
-        stats.misses
+        stats.misses,
+        stats.disk_errors
     ));
     drop(out_tx);
     let _ = writer.join();
@@ -335,6 +337,7 @@ fn handle_submit(
             events: Some(cell_tx),
             cancel: Some(cancel),
             counters: Some(Arc::clone(&counters)),
+            policy: None,
         };
         let outcome =
             catch_unwind(AssertUnwindSafe(|| shared.scheduler.execute(spec, &config, session)));
@@ -375,10 +378,14 @@ fn handle_submit(
         };
         let line = format!(
             "{{\"event\": \"done\", \"job\": {job}, \"status\": {}, \"rows\": {rows}, \
-             \"cache_hits\": {}, \"computed\": {}, \"elapsed_seconds\": {}{error}}}",
+             \"cache_hits\": {}, \"computed\": {}, \"disk_errors\": {}, \
+             \"elapsed_seconds\": {}{error}}}",
             json_string(record.state.name()),
             counters.cache_hits.load(Ordering::Relaxed),
             counters.computed_cells.load(Ordering::Relaxed),
+            // Session-wide, not per-job: a sick cache dir is an operator
+            // signal, and any job's done line should surface it.
+            shared.cache.stats().disk_errors,
             json_f64(elapsed)
         );
         drop(table);

@@ -1,0 +1,165 @@
+//! Property tests for the memory layer's LRU discipline: after *any* sequence
+//! of inserts and lookups under *any* budget, the configured ceilings hold and
+//! the cache agrees with an exact reference LRU — same hit/miss answers, same
+//! occupancy, same eviction count — which is precisely the "most-recently-hit
+//! entries survive eviction" invariant.
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use repro_bench::cache::{entry_cost, CacheConfig, CellCache, CellKey, KeyBuilder, MemBudget};
+use repro_bench::row;
+use repro_bench::runner::Row;
+
+/// A small key universe so sequences revisit keys (hits, replacements).
+const KEYS: usize = 8;
+
+fn key(i: usize) -> CellKey {
+    KeyBuilder::new("lru-prop").field_usize("key", i).finish()
+}
+
+/// Payload size varies with `rows` so byte budgets bite at different points.
+fn payload(i: usize, rows: usize) -> Vec<Row> {
+    (0..rows).map(|r| row![i as u64, r as u64]).collect()
+}
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Insert key `0` with a payload of `1` rows (replaces on re-insert).
+    Insert(usize, usize),
+    /// Look key `0` up (touches recency on a hit).
+    Get(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    (0..2u32, 0..KEYS, 0..5usize).prop_map(|(tag, k, n)| match tag {
+        0 => Op::Insert(k, n),
+        _ => Op::Get(k),
+    })
+}
+
+/// All four budget shapes: unbounded, bytes-only, entries-only, both.
+fn budget_strategy() -> impl Strategy<Value = MemBudget> {
+    (0..4u32, 64u64..=800, 1usize..=6).prop_map(|(tag, bytes, entries)| MemBudget {
+        max_bytes: (tag & 1 == 1).then_some(bytes),
+        max_entries: (tag & 2 == 2).then_some(entries),
+    })
+}
+
+/// Exact reference LRU: front = least recent, back = most recent.
+#[derive(Default)]
+struct Model {
+    entries: Vec<(usize, u64)>,
+    evictions: u64,
+}
+
+impl Model {
+    fn bytes(&self) -> u64 {
+        self.entries.iter().map(|(_, cost)| cost).sum()
+    }
+
+    fn over(&self, budget: &MemBudget) -> bool {
+        budget.max_bytes.is_some_and(|b| self.bytes() > b)
+            || budget.max_entries.is_some_and(|n| self.entries.len() > n)
+    }
+
+    fn get(&mut self, k: usize) -> bool {
+        match self.entries.iter().position(|(key, _)| *key == k) {
+            Some(pos) => {
+                let entry = self.entries.remove(pos);
+                self.entries.push(entry);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn insert(&mut self, k: usize, cost: u64, budget: &MemBudget) {
+        if let Some(pos) = self.entries.iter().position(|(key, _)| *key == k) {
+            self.entries.remove(pos);
+        }
+        self.entries.push((k, cost));
+        while self.over(budget) {
+            self.entries.remove(0);
+            self.evictions += 1;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The configured ceilings hold after every single operation — never just
+    /// eventually — and occupancy, hit/miss answers, and the eviction counter
+    /// all match the exact LRU model (so the most-recently-hit entries are
+    /// exactly the survivors).
+    #[test]
+    fn lru_matches_an_exact_reference_model(
+        budget in budget_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..48),
+    ) {
+        let cache = CellCache::with_config(CacheConfig {
+            mem_budget: budget,
+            ..CacheConfig::default()
+        }).unwrap();
+        let mut model = Model::default();
+
+        for op in &ops {
+            match *op {
+                Op::Insert(k, rows) => {
+                    let rows = payload(k, rows);
+                    let cost = entry_cost(&rows);
+                    cache.insert(key(k), Arc::new(rows)).unwrap();
+                    model.insert(k, cost, &budget);
+                }
+                Op::Get(k) => {
+                    let hit = cache.get(key(k)).is_some();
+                    let expected = model.get(k);
+                    prop_assert_eq!(hit, expected, "hit/miss diverged from the model on {:?}", op);
+                }
+            }
+            let (entries, bytes) = cache.memory_usage();
+            prop_assert_eq!(entries, model.entries.len());
+            prop_assert_eq!(bytes, model.bytes());
+            if let Some(max) = budget.max_bytes {
+                prop_assert!(bytes <= max, "byte budget exceeded: {} > {}", bytes, max);
+            }
+            if let Some(max) = budget.max_entries {
+                prop_assert!(entries <= max, "entry budget exceeded: {} > {}", entries, max);
+            }
+        }
+        prop_assert_eq!(cache.stats().evictions, model.evictions);
+    }
+
+    /// Survivors hold bit-identical rows: whatever eviction did, a hit after
+    /// the dust settles returns exactly what was inserted last for that key.
+    #[test]
+    fn surviving_entries_are_bit_identical_to_their_last_insert(
+        budget in budget_strategy(),
+        ops in prop::collection::vec(op_strategy(), 1..48),
+    ) {
+        let cache = CellCache::with_config(CacheConfig {
+            mem_budget: budget,
+            ..CacheConfig::default()
+        }).unwrap();
+        let mut last_insert: std::collections::HashMap<usize, Vec<Row>> = Default::default();
+        for op in &ops {
+            match *op {
+                Op::Insert(k, rows) => {
+                    let rows = payload(k, rows);
+                    cache.insert(key(k), Arc::new(rows.clone())).unwrap();
+                    last_insert.insert(k, rows);
+                }
+                Op::Get(k) => {
+                    if let Some(rows) = cache.get(key(k)) {
+                        let expected = &last_insert[&k];
+                        prop_assert_eq!(rows.len(), expected.len());
+                        for (a, b) in rows.iter().zip(expected) {
+                            prop_assert_eq!(&a.cells, &b.cells);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -25,7 +25,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 
 use reorder::Method;
-use repro_bench::cache::CellCache;
+use repro_bench::cache::{self, CacheConfig, CellCache, MemBudget};
 use repro_bench::experiments;
 use repro_bench::runner::{ExperimentSpec, Format, RunConfig};
 use repro_bench::scheduler::{JobCounters, JobSession, Scheduler};
@@ -44,6 +44,7 @@ USAGE:
     xp run <id-or-alias>      [options]
     xp sweep [id...]          [options]   run every (or the listed) experiment(s)
     xp serve                  [options]   NDJSON job server on stdin/stdout
+    xp cache <gc|info>        --cache-dir <path> [options]   manage a cache dir
     xp list                               list experiments
     xp trace record  --app <name> --out <corpus> [--order <method>] [options]
     xp trace replay  --in <corpus> [--into <sim|dsm>] [--lenient] [options]
@@ -58,7 +59,19 @@ OPTIONS:
     --procs <N>               override the virtual-processor count
     --seed <N>                override the workload seed
     --jobs <N>                bound concurrent cell attempts (default: pool width)
-    --cache-dir <path>        persist computed cells on disk (sweep and serve)
+    --cache-dir <path>        persist computed cells on disk (sweep, serve, cache)
+    --single-flight           dedupe identical *in-flight* cells (sweep and serve):
+                              the first job claims a cell, identical waiters park
+                              on a liveness lease instead of recomputing; with
+                              --cache-dir two processes single-flight against
+                              each other through lease files (period:
+                              XP_CACHE_LEASE_MS, default 2000 ms)
+    --cache-mem-budget <sz>   bound the in-memory cell cache (LRU eviction):
+                              bytes with an optional k/m/g suffix, or an entry
+                              count with an `e` suffix (e.g. 64m, 100e)
+    --cache-disk-budget <sz>  bound the --cache-dir byte size (k/m/g suffix);
+                              entries are garbage-collected oldest-first, and
+                              `xp cache gc` applies the same policy on demand
     -h, --help                this help
 
 SERVE OPTIONS:
@@ -91,8 +104,14 @@ struct Options {
     /// `--jobs N`: bound on concurrent cell attempts (scheduler slots, and the
     /// executor pool width for direct commands).
     jobs: Option<usize>,
-    /// `--cache-dir PATH`: on-disk layer of the cell cache (sweep and serve).
+    /// `--cache-dir PATH`: on-disk layer of the cell cache (sweep, serve, cache).
     cache_dir: Option<PathBuf>,
+    /// `--single-flight`: dedupe identical in-flight cells via claims + leases.
+    single_flight: bool,
+    /// `--cache-mem-budget SZ`: LRU bound on the in-memory cell cache.
+    cache_mem_budget: MemBudget,
+    /// `--cache-disk-budget SZ`: byte bound on the `--cache-dir` disk layer.
+    cache_disk_budget: Option<u64>,
 }
 
 fn fail(message: &str) -> ExitCode {
@@ -107,6 +126,9 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
     let mut config = RunConfig::from_env();
     let mut jobs = None;
     let mut cache_dir = None;
+    let mut single_flight = false;
+    let mut cache_mem_budget = MemBudget::default();
+    let mut cache_disk_budget = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut value_for =
@@ -151,10 +173,72 @@ fn parse_options(args: &[String]) -> Result<Options, String> {
                 jobs = Some(n);
             }
             "--cache-dir" => cache_dir = Some(PathBuf::from(value_for("--cache-dir")?)),
+            "--single-flight" => single_flight = true,
+            "--cache-mem-budget" => {
+                let v = value_for("--cache-mem-budget")?;
+                // An `e` suffix counts entries; anything else is a byte size.
+                if let Some(entries) = v.trim().strip_suffix(['e', 'E']) {
+                    let n: usize = entries.parse().map_err(|_| {
+                        format!("--cache-mem-budget expects an entry count before `e`, got {v:?}")
+                    })?;
+                    cache_mem_budget.max_entries = Some(n);
+                } else {
+                    cache_mem_budget.max_bytes = Some(parse_bytes("--cache-mem-budget", &v)?);
+                }
+            }
+            "--cache-disk-budget" => {
+                cache_disk_budget =
+                    Some(parse_bytes("--cache-disk-budget", &value_for("--cache-disk-budget")?)?);
+            }
             other => return Err(format!("unexpected argument {other:?}")),
         }
     }
-    Ok(Options { format, out, config, jobs, cache_dir })
+    Ok(Options {
+        format,
+        out,
+        config,
+        jobs,
+        cache_dir,
+        single_flight,
+        cache_mem_budget,
+        cache_disk_budget,
+    })
+}
+
+/// Parse a byte size: plain digits, or a `k`/`m`/`g` binary suffix.
+fn parse_bytes(flag: &str, v: &str) -> Result<u64, String> {
+    let s = v.trim().to_ascii_lowercase();
+    let (digits, mult): (&str, u64) = if let Some(d) = s.strip_suffix('k') {
+        (d, 1 << 10)
+    } else if let Some(d) = s.strip_suffix('m') {
+        (d, 1 << 20)
+    } else if let Some(d) = s.strip_suffix('g') {
+        (d, 1 << 30)
+    } else {
+        (s.as_str(), 1)
+    };
+    let n: u64 = digits
+        .parse()
+        .map_err(|_| format!("{flag} expects a size like 1000000, 64k, 500m or 2g, got {v:?}"))?;
+    n.checked_mul(mult).ok_or(format!("{flag}: {v:?} overflows"))
+}
+
+/// Reject the cache family of flags for commands that have no cell cache.
+fn reject_cache_flags(options: &Options) -> Result<(), String> {
+    if options.cache_dir.is_some() {
+        return Err("--cache-dir only applies to `xp sweep`, `xp serve` and `xp cache`".to_string());
+    }
+    if options.single_flight {
+        return Err("--single-flight only applies to `xp sweep` and `xp serve`".to_string());
+    }
+    if options.cache_mem_budget.is_bounded() {
+        return Err("--cache-mem-budget only applies to `xp sweep` and `xp serve`".to_string());
+    }
+    if options.cache_disk_budget.is_some() {
+        return Err("--cache-disk-budget only applies to `xp sweep`, `xp serve` and `xp cache gc`"
+            .to_string());
+    }
+    Ok(())
 }
 
 fn emit(rendered: &str, out: Option<&Path>) -> Result<(), String> {
@@ -231,9 +315,7 @@ fn run_trace(args: &[String]) -> Result<(), String> {
     };
     let (flags, rest) = split_trace_flags(&args[1..])?;
     let options = parse_options(&rest)?;
-    if options.cache_dir.is_some() {
-        return Err("--cache-dir only applies to `xp sweep` and `xp serve`".to_string());
-    }
+    reject_cache_flags(&options)?;
     // Validate the output path before any recording or decoding runs (for `record`
     // and `recover` the --out path is the corpus itself and the command prepares it).
     if action != "record" && action != "recover" {
@@ -295,14 +377,90 @@ fn run_one(spec: &ExperimentSpec, options: &Options) -> Result<(), String> {
 }
 
 /// Build the cell cache an `xp sweep` or `xp serve` invocation shares across
-/// experiments: in-memory always, disk-backed when `--cache-dir` is given.
-fn open_cache(cache_dir: Option<&Path>) -> Result<Arc<CellCache>, String> {
-    let cache = match cache_dir {
-        Some(dir) => CellCache::with_disk(dir)
-            .map_err(|e| format!("cannot open cache dir {}: {e}", dir.display()))?,
-        None => CellCache::new(),
+/// experiments: in-memory always (LRU-bounded under `--cache-mem-budget`),
+/// disk-backed when `--cache-dir` is given, single-flighting when asked.
+fn open_cache(options: &Options) -> Result<Arc<CellCache>, String> {
+    if options.cache_disk_budget.is_some() && options.cache_dir.is_none() {
+        return Err("--cache-disk-budget requires --cache-dir".to_string());
+    }
+    let config = CacheConfig {
+        disk: options.cache_dir.clone(),
+        single_flight: options.single_flight,
+        mem_budget: options.cache_mem_budget,
+        disk_budget: options.cache_disk_budget,
+        lease: None,
     };
+    let cache =
+        CellCache::with_config(config).map_err(|e| format!("cannot open cell cache: {e}"))?;
     Ok(Arc::new(cache))
+}
+
+/// `xp cache gc|info` — operate on a `--cache-dir` without running experiments.
+fn run_cache(args: &[String]) -> Result<(), String> {
+    let Some(action) = args.first().map(String::as_str) else {
+        return Err("`xp cache` needs an action: gc or info".to_string());
+    };
+    let options = parse_options(&args[1..])?;
+    if options.single_flight || options.cache_mem_budget.is_bounded() {
+        return Err(
+            "--single-flight and --cache-mem-budget only apply to `xp sweep` and `xp serve`"
+                .to_string(),
+        );
+    }
+    let Some(dir) = options.cache_dir.as_deref() else {
+        return Err(format!("`xp cache {action}` needs --cache-dir <path>"));
+    };
+    let rendered = match action {
+        "gc" => {
+            let report = cache::gc_dir(dir, options.cache_disk_budget, cache::default_lease())
+                .map_err(|e| format!("cache gc: {e}"))?;
+            match options.format {
+                Format::Json => format!(
+                    "{{\"reaped_tmp\": {}, \"reaped_leases\": {}, \"evicted_entries\": {}, \
+                     \"evicted_bytes\": {}, \"kept_entries\": {}, \"kept_bytes\": {}}}\n",
+                    report.reaped_tmp,
+                    report.reaped_leases,
+                    report.evicted_entries,
+                    report.evicted_bytes,
+                    report.kept_entries,
+                    report.kept_bytes
+                ),
+                _ => format!(
+                    "cache gc {}: reaped {} staging file(s) and {} lease(s), evicted {} \
+                     entr(y/ies) ({} bytes), kept {} ({} bytes)\n",
+                    dir.display(),
+                    report.reaped_tmp,
+                    report.reaped_leases,
+                    report.evicted_entries,
+                    report.evicted_bytes,
+                    report.kept_entries,
+                    report.kept_bytes
+                ),
+            }
+        }
+        "info" => {
+            let info = cache::disk_info(dir).map_err(|e| format!("cache info: {e}"))?;
+            match options.format {
+                Format::Json => format!(
+                    "{{\"entries\": {}, \"bytes\": {}, \"staging\": {}, \"leases\": {}, \
+                     \"live_leases\": {}}}\n",
+                    info.entries, info.bytes, info.staging, info.leases, info.live_leases
+                ),
+                _ => format!(
+                    "cache {}: {} entr(y/ies), {} bytes, {} staging file(s), {} lease(s) \
+                     ({} live)\n",
+                    dir.display(),
+                    info.entries,
+                    info.bytes,
+                    info.staging,
+                    info.leases,
+                    info.live_leases
+                ),
+            }
+        }
+        other => return Err(format!("unknown cache action {other:?} (try gc or info)")),
+    };
+    emit(&rendered, options.out.as_deref())
 }
 
 fn run_sweep(ids: &[String], options: &Options) -> Result<(), String> {
@@ -326,7 +484,7 @@ fn run_sweep(ids: &[String], options: &Options) -> Result<(), String> {
     // id list computes each unique cell exactly once.
     let slots = options.jobs.unwrap_or_else(|| rayon::current_num_threads().max(1));
     let scheduler = Scheduler::new(slots);
-    let cache = open_cache(options.cache_dir.as_deref())?;
+    let cache = open_cache(options)?;
     let mut failures = Vec::new();
     for spec in &specs {
         eprintln!("running {} ...", spec.id);
@@ -358,6 +516,15 @@ fn run_sweep(ids: &[String], options: &Options) -> Result<(), String> {
         stats.hits(),
         stats.lookups()
     );
+    if stats.flight_waits > 0 || stats.flight_steals > 0 {
+        eprintln!(
+            "  single-flight: {} cell(s) settled by waiting, {} lease(s) stolen",
+            stats.flight_waits, stats.flight_steals
+        );
+    }
+    if stats.disk_errors > 0 {
+        eprintln!("  WARNING: {} cache disk error(s) — see messages above", stats.disk_errors);
+    }
     if failures.is_empty() {
         Ok(())
     } else {
@@ -429,7 +596,7 @@ fn run_serve(args: &[String]) -> Result<(), String> {
     // --scale/--procs/--seed/--format have no global meaning here: every submit
     // request carries its own scale, procs and seed.
     let slots = options.jobs.unwrap_or_else(|| rayon::current_num_threads().max(1));
-    let cache = open_cache(options.cache_dir.as_deref())?;
+    let cache = open_cache(&options)?;
     let shared = Arc::new(ServeShared::new(slots, cache));
     let shutdown = Arc::new(AtomicBool::new(false));
     #[cfg(unix)]
@@ -488,6 +655,12 @@ fn main() -> ExitCode {
             Err(message) => fail(&message),
         };
     }
+    if command == "cache" {
+        return match run_cache(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => fail(&message),
+        };
+    }
 
     // Subcommands that name an experiment, then take shared options.
     let mut sweep_ids: Vec<String> = Vec::new();
@@ -532,8 +705,10 @@ fn main() -> ExitCode {
         }
     }
 
-    if options.cache_dir.is_some() && command != "sweep" {
-        return fail("--cache-dir only applies to `xp sweep` and `xp serve`");
+    if command != "sweep" {
+        if let Err(message) = reject_cache_flags(&options) {
+            return fail(&message);
+        }
     }
 
     let go = || {
